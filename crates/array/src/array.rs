@@ -1,0 +1,338 @@
+//! A dense row-major multidimensional array.
+
+use crate::index::MultiIndexIter;
+use crate::shape::Shape;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major array over a [`Shape`].
+///
+/// `NdArray` backs every in-memory chunk in the workspace: untransformed data
+/// chunks, transformed chunks, and reconstructed regions. It is generic over
+/// the element type but used almost exclusively with `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdArray<T = f64> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> NdArray<T> {
+    /// Creates an array filled with `T::default()`.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.len();
+        NdArray {
+            shape,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Creates an array from existing row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "NdArray::from_vec: data length {} does not match shape {shape:?}",
+            data.len()
+        );
+        NdArray { shape, data }
+    }
+
+    /// Creates an array by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in MultiIndexIter::new(shape.dims()) {
+            data.push(f(&idx));
+        }
+        NdArray { shape, data }
+    }
+
+    /// The array's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the array holds no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Cell value at `idx`.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the cell at `idx`.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: T) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Copies the rectangular region starting at `origin` with extents
+    /// `sub.shape()` **out of** `self` into `sub`.
+    ///
+    /// This is the chunk-extraction primitive for out-of-core transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region does not fit inside `self`.
+    pub fn extract_into(&self, origin: &[usize], sub: &mut NdArray<T>) {
+        let d = self.shape.ndim();
+        assert_eq!(origin.len(), d);
+        assert_eq!(sub.shape.ndim(), d);
+        for axis in 0..d {
+            assert!(
+                origin[axis] + sub.shape.dim(axis) <= self.shape.dim(axis),
+                "extract: region out of bounds on axis {axis}"
+            );
+        }
+        copy_region(
+            &self.data,
+            &self.shape,
+            origin,
+            &mut sub.data,
+            &sub.shape.clone(),
+            &vec![0; d],
+            sub.shape.dims().to_vec().as_slice(),
+        );
+    }
+
+    /// Returns a freshly allocated copy of the rectangular region at `origin`
+    /// with per-axis extents `extents`.
+    pub fn extract(&self, origin: &[usize], extents: &[usize]) -> NdArray<T> {
+        let mut out = NdArray::zeros(Shape::new(extents));
+        self.extract_into(origin, &mut out);
+        out
+    }
+
+    /// Copies `sub` **into** `self` at `origin` (overwriting).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region does not fit inside `self`.
+    pub fn insert(&mut self, origin: &[usize], sub: &NdArray<T>) {
+        let d = self.shape.ndim();
+        assert_eq!(origin.len(), d);
+        assert_eq!(sub.shape.ndim(), d);
+        for axis in 0..d {
+            assert!(
+                origin[axis] + sub.shape.dim(axis) <= self.shape.dim(axis),
+                "insert: region out of bounds on axis {axis}"
+            );
+        }
+        copy_region(
+            &sub.data,
+            &sub.shape,
+            &vec![0; d],
+            &mut self.data,
+            &self.shape.clone(),
+            origin,
+            sub.shape.dims().to_vec().as_slice(),
+        );
+    }
+}
+
+impl NdArray<f64> {
+    /// Adds `other` element-wise (shapes must match).
+    pub fn add_assign(&mut self, other: &NdArray<f64>) {
+        assert_eq!(self.shape, other.shape, "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Maximum absolute difference against `other` (shapes must match).
+    pub fn max_abs_diff(&self, other: &NdArray<f64>) -> f64 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of the cells in the rectangular region `[lo, hi]` (inclusive).
+    pub fn region_sum(&self, lo: &[usize], hi: &[usize]) -> f64 {
+        assert_eq!(lo.len(), self.shape.ndim());
+        assert_eq!(hi.len(), self.shape.ndim());
+        let extents: Vec<usize> = lo
+            .iter()
+            .zip(hi)
+            .map(|(&l, &h)| {
+                assert!(h >= l, "region_sum: hi < lo");
+                h - l + 1
+            })
+            .collect();
+        let mut sum = 0.0;
+        let mut idx = vec![0usize; lo.len()];
+        for rel in MultiIndexIter::new(&extents) {
+            for (axis, &r) in rel.iter().enumerate() {
+                idx[axis] = lo[axis] + r;
+            }
+            sum += self.get(&idx);
+        }
+        sum
+    }
+}
+
+/// Copies an `extents`-sized region from `src` (at `src_origin`) to `dst`
+/// (at `dst_origin`), exploiting contiguity of the innermost axis.
+fn copy_region<T: Copy>(
+    src: &[T],
+    src_shape: &Shape,
+    src_origin: &[usize],
+    dst: &mut [T],
+    dst_shape: &Shape,
+    dst_origin: &[usize],
+    extents: &[usize],
+) {
+    let d = extents.len();
+    let row = extents[d - 1];
+    // Iterate over all outer coordinates; memcpy the innermost rows.
+    let outer: Vec<usize> = extents[..d - 1].to_vec();
+    let mut src_idx = src_origin.to_vec();
+    let mut dst_idx = dst_origin.to_vec();
+    if outer.is_empty() || outer.iter().all(|&e| e > 0) {
+        for rel in MultiIndexIter::new(&outer) {
+            for (axis, &r) in rel.iter().enumerate() {
+                src_idx[axis] = src_origin[axis] + r;
+                dst_idx[axis] = dst_origin[axis] + r;
+            }
+            let s0 = src_shape.offset(&src_idx);
+            let d0 = dst_shape.offset(&dst_idx);
+            dst[d0..d0 + row].copy_from_slice(&src[s0..s0 + row]);
+        }
+    }
+}
+
+impl<T: Copy + Default> Index<&[usize]> for NdArray<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, idx: &[usize]) -> &T {
+        &self.data[self.shape.offset(idx)]
+    }
+}
+
+impl<T: Copy + Default> IndexMut<&[usize]> for NdArray<T> {
+    #[inline]
+    fn index_mut(&mut self, idx: &[usize]) -> &mut T {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &Shape) -> NdArray<f64> {
+        let mut counter = 0.0;
+        NdArray::from_fn(shape.clone(), |_| {
+            counter += 1.0;
+            counter
+        })
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let a = iota(&Shape::new(&[2, 3]));
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.get(&[1, 0]), 4.0);
+    }
+
+    #[test]
+    fn extract_and_insert_roundtrip() {
+        let a = iota(&Shape::new(&[4, 4]));
+        let sub = a.extract(&[1, 2], &[2, 2]);
+        assert_eq!(sub.as_slice(), &[7.0, 8.0, 11.0, 12.0]);
+        let mut b = NdArray::<f64>::zeros(Shape::new(&[4, 4]));
+        b.insert(&[1, 2], &sub);
+        assert_eq!(b.get(&[1, 2]), 7.0);
+        assert_eq!(b.get(&[2, 3]), 12.0);
+        assert_eq!(b.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn extract_full_is_identity() {
+        let a = iota(&Shape::new(&[2, 2, 2]));
+        let sub = a.extract(&[0, 0, 0], &[2, 2, 2]);
+        assert_eq!(sub, a);
+    }
+
+    #[test]
+    fn extract_1d() {
+        let a = iota(&Shape::new(&[8]));
+        let sub = a.extract(&[2], &[4]);
+        assert_eq!(sub.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn region_sum_matches_naive() {
+        let a = iota(&Shape::new(&[3, 4]));
+        // region rows 1..=2, cols 1..=3
+        let mut expect = 0.0;
+        for r in 1..=2 {
+            for c in 1..=3 {
+                expect += a.get(&[r, c]);
+            }
+        }
+        assert_eq!(a.region_sum(&[1, 1], &[2, 3]), expect);
+    }
+
+    #[test]
+    fn add_assign_elementwise() {
+        let mut a = iota(&Shape::new(&[2, 2]));
+        let b = iota(&Shape::new(&[2, 2]));
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_bounds_panics() {
+        let mut a = NdArray::<f64>::zeros(Shape::new(&[4, 4]));
+        let sub = NdArray::<f64>::zeros(Shape::new(&[2, 2]));
+        a.insert(&[3, 3], &sub);
+    }
+
+    #[test]
+    fn index_operators() {
+        let mut a = NdArray::<f64>::zeros(Shape::new(&[2, 2]));
+        a[&[0, 1][..]] = 5.0;
+        assert_eq!(a[&[0, 1][..]], 5.0);
+    }
+}

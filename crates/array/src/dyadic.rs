@@ -1,0 +1,267 @@
+//! Dyadic intervals and ranges (Definition 3 of the paper).
+//!
+//! A *dyadic interval* of a domain of size `2^n` is `[k·2^j, (k+1)·2^j − 1]`
+//! for some level `j ∈ [0, n]` and translation `k ∈ [0, 2^{n−j})`. Dyadic
+//! intervals are exactly the support intervals of Haar coefficients
+//! (Property 1), which is why SHIFT/SPLIT operate on them.
+
+use crate::index::MultiIndexIter;
+
+/// A dyadic interval `[k·2^j, (k+1)·2^j − 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DyadicInterval {
+    /// Level: the interval has length `2^level`.
+    pub level: u32,
+    /// Translation: the interval starts at `translation << level`.
+    pub translation: usize,
+}
+
+impl DyadicInterval {
+    /// Interval of length `2^level` starting at `translation · 2^level`.
+    pub fn new(level: u32, translation: usize) -> Self {
+        DyadicInterval { level, translation }
+    }
+
+    /// First covered position.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.translation << self.level
+    }
+
+    /// Last covered position (inclusive).
+    #[inline]
+    pub fn end(&self) -> usize {
+        ((self.translation + 1) << self.level) - 1
+    }
+
+    /// Interval length, `2^level`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        1usize << self.level
+    }
+
+    /// Dyadic intervals are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` iff `self` completely contains `other`.
+    pub fn covers(&self, other: &DyadicInterval) -> bool {
+        self.level >= other.level
+            && (other.translation >> (self.level - other.level)) == self.translation
+    }
+
+    /// The parent dyadic interval (twice the length).
+    pub fn parent(&self) -> DyadicInterval {
+        DyadicInterval::new(self.level + 1, self.translation >> 1)
+    }
+
+    /// The two child halves, or `None` when `level == 0`.
+    pub fn children(&self) -> Option<(DyadicInterval, DyadicInterval)> {
+        if self.level == 0 {
+            None
+        } else {
+            Some((
+                DyadicInterval::new(self.level - 1, self.translation << 1),
+                DyadicInterval::new(self.level - 1, (self.translation << 1) | 1),
+            ))
+        }
+    }
+
+    /// `true` iff `pos` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, pos: usize) -> bool {
+        (pos >> self.level) == self.translation
+    }
+}
+
+/// A multidimensional dyadic range: the cross product of one dyadic interval
+/// per axis.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DyadicRange {
+    /// One interval per axis.
+    pub axes: Vec<DyadicInterval>,
+}
+
+impl DyadicRange {
+    /// Builds a range from per-axis intervals.
+    pub fn new(axes: Vec<DyadicInterval>) -> Self {
+        assert!(!axes.is_empty(), "DyadicRange: zero axes");
+        DyadicRange { axes }
+    }
+
+    /// A cubic range: every axis has the same `level`, translations given
+    /// per axis.
+    pub fn cube(level: u32, translations: &[usize]) -> Self {
+        DyadicRange::new(
+            translations
+                .iter()
+                .map(|&t| DyadicInterval::new(level, t))
+                .collect(),
+        )
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.len()).product()
+    }
+
+    /// Dyadic ranges are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Per-axis start coordinates.
+    pub fn origin(&self) -> Vec<usize> {
+        self.axes.iter().map(|a| a.start()).collect()
+    }
+
+    /// Per-axis extents.
+    pub fn extents(&self) -> Vec<usize> {
+        self.axes.iter().map(|a| a.len()).collect()
+    }
+
+    /// `true` iff all axes share one level (a hypercube).
+    pub fn is_cubic(&self) -> bool {
+        self.axes.windows(2).all(|w| w[0].level == w[1].level)
+    }
+}
+
+/// Greedily decomposes the inclusive interval `[lo, hi]` into the minimal
+/// sequence of maximal disjoint dyadic intervals.
+///
+/// This is the classical decomposition used to reduce arbitrary range
+/// operations (partial reconstruction, selections) to the dyadic case: at
+/// most `2·log₂(hi−lo+1) + O(1)` pieces are produced.
+///
+/// ```
+/// use ss_array::decompose_interval;
+/// let parts = decompose_interval(3, 9);
+/// let total: usize = parts.iter().map(|p| p.len()).sum();
+/// assert_eq!(total, 7);
+/// assert_eq!(parts[0].start(), 3);
+/// ```
+pub fn decompose_interval(lo: usize, hi: usize) -> Vec<DyadicInterval> {
+    assert!(lo <= hi, "decompose_interval: lo > hi");
+    let mut parts = Vec::new();
+    let mut pos = lo;
+    while pos <= hi {
+        // Largest level allowed by alignment of `pos`.
+        let align = if pos == 0 {
+            usize::BITS - 1
+        } else {
+            pos.trailing_zeros()
+        };
+        // Largest level allowed by the remaining length.
+        let remaining = hi - pos + 1;
+        let fit = usize::BITS - 1 - remaining.leading_zeros(); // floor(log2(remaining))
+        let level = align.min(fit);
+        parts.push(DyadicInterval::new(level, pos >> level));
+        pos += 1usize << level;
+    }
+    parts
+}
+
+/// Decomposes an arbitrary axis-aligned inclusive box `[lo, hi]` into
+/// disjoint dyadic ranges (the cross product of per-axis decompositions).
+pub fn decompose_range(lo: &[usize], hi: &[usize]) -> Vec<DyadicRange> {
+    assert_eq!(lo.len(), hi.len());
+    let per_axis: Vec<Vec<DyadicInterval>> = lo
+        .iter()
+        .zip(hi)
+        .map(|(&l, &h)| decompose_interval(l, h))
+        .collect();
+    let counts: Vec<usize> = per_axis.iter().map(|v| v.len()).collect();
+    let mut out = Vec::new();
+    for choice in MultiIndexIter::new(&counts) {
+        out.push(DyadicRange::new(
+            choice
+                .iter()
+                .enumerate()
+                .map(|(axis, &c)| per_axis[axis][c])
+                .collect(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_geometry() {
+        let i = DyadicInterval::new(3, 2);
+        assert_eq!(i.start(), 16);
+        assert_eq!(i.end(), 23);
+        assert_eq!(i.len(), 8);
+        assert!(i.contains(16));
+        assert!(i.contains(23));
+        assert!(!i.contains(24));
+    }
+
+    #[test]
+    fn parent_child_relations() {
+        let i = DyadicInterval::new(2, 3); // [12, 15]
+        assert_eq!(i.parent(), DyadicInterval::new(3, 1)); // [8, 15]
+        let (l, r) = i.children().unwrap();
+        assert_eq!(l, DyadicInterval::new(1, 6)); // [12, 13]
+        assert_eq!(r, DyadicInterval::new(1, 7)); // [14, 15]
+        assert!(i.parent().covers(&i));
+        assert!(i.covers(&l) && i.covers(&r));
+        assert!(!l.covers(&r));
+        assert!(DyadicInterval::new(0, 5).children().is_none());
+    }
+
+    #[test]
+    fn decompose_covers_exactly() {
+        for lo in 0usize..20 {
+            for hi in lo..40 {
+                let parts = decompose_interval(lo, hi);
+                // Disjoint, sorted, covering [lo, hi].
+                let mut pos = lo;
+                for p in &parts {
+                    assert_eq!(p.start(), pos);
+                    pos = p.end() + 1;
+                }
+                assert_eq!(pos, hi + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_is_logarithmic() {
+        let parts = decompose_interval(1, (1 << 20) - 2);
+        assert!(parts.len() <= 2 * 20, "got {} parts", parts.len());
+    }
+
+    #[test]
+    fn aligned_interval_is_single_piece() {
+        let parts = decompose_interval(8, 15);
+        assert_eq!(parts, vec![DyadicInterval::new(3, 1)]);
+    }
+
+    #[test]
+    fn decompose_range_counts() {
+        let ranges = decompose_range(&[3, 0], &[9, 7]);
+        // 3..=9 -> pieces: [3],[4..7],[8..9] = 3 pieces; 0..=7 -> 1 piece.
+        assert_eq!(ranges.len(), 3);
+        let cells: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(cells, 7 * 8);
+    }
+
+    #[test]
+    fn cubic_range() {
+        let r = DyadicRange::cube(2, &[1, 3]);
+        assert!(r.is_cubic());
+        assert_eq!(r.origin(), vec![4, 12]);
+        assert_eq!(r.extents(), vec![4, 4]);
+        assert_eq!(r.len(), 16);
+    }
+}

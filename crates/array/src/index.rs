@@ -1,0 +1,124 @@
+//! Odometer-style iteration over rectangular multi-index domains.
+
+/// Iterates over all multi-indices of a rectangular domain in row-major
+/// order (last axis fastest).
+///
+/// An empty extent list yields exactly one empty index (the 0-dimensional
+/// point), which makes it convenient as the "outer loop" of region copies.
+///
+/// ```
+/// use ss_array::MultiIndexIter;
+/// let all: Vec<Vec<usize>> = MultiIndexIter::new(&[2, 2]).collect();
+/// assert_eq!(all, vec![vec![0,0], vec![0,1], vec![1,0], vec![1,1]]);
+/// ```
+pub struct MultiIndexIter {
+    extents: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl MultiIndexIter {
+    /// Creates an iterator over `[0, extents[0]) x ... x [0, extents[d-1])`.
+    ///
+    /// If any extent is zero the iterator is immediately exhausted.
+    pub fn new(extents: &[usize]) -> Self {
+        let done = extents.contains(&0);
+        MultiIndexIter {
+            extents: extents.to_vec(),
+            current: vec![0; extents.len()],
+            done,
+        }
+    }
+}
+
+impl Iterator for MultiIndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let item = self.current.clone();
+        // Advance the odometer from the last axis.
+        let mut axis = self.extents.len();
+        loop {
+            if axis == 0 {
+                self.done = true;
+                break;
+            }
+            axis -= 1;
+            self.current[axis] += 1;
+            if self.current[axis] < self.extents[axis] {
+                break;
+            }
+            self.current[axis] = 0;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let total: usize = self.extents.iter().product();
+        // How many indices have been emitted so far.
+        let mut emitted = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.extents.len()).rev() {
+            emitted += self.current[axis] * stride;
+            stride *= self.extents[axis];
+        }
+        let remaining = total - emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for MultiIndexIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_domain_in_row_major_order() {
+        let got: Vec<Vec<usize>> = MultiIndexIter::new(&[2, 3]).collect();
+        let want = vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 0],
+            vec![1, 1],
+            vec![1, 2],
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_dimensional_yields_one_empty_index() {
+        let got: Vec<Vec<usize>> = MultiIndexIter::new(&[]).collect();
+        assert_eq!(got, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn zero_extent_yields_nothing() {
+        assert_eq!(MultiIndexIter::new(&[3, 0]).count(), 0);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = MultiIndexIter::new(&[3, 4]);
+        let mut remaining = 12;
+        assert_eq!(it.len(), remaining);
+        while let Some(_) = it.next() {
+            remaining -= 1;
+            assert_eq!(it.size_hint(), (remaining, Some(remaining)));
+        }
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let got: Vec<Vec<usize>> = MultiIndexIter::new(&[4]).collect();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[3], vec![3]);
+    }
+}

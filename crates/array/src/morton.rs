@@ -1,0 +1,158 @@
+//! Z-order (Morton) encoding and traversal.
+//!
+//! The non-standard out-of-core transform (Result 2 of the paper) reaches its
+//! optimal `O(N^d/B^d)` I/O bound only when chunks are visited in z-order:
+//! under that schedule the `2^d − 1` detail coefficients produced at each
+//! internal quad-tree node are finalized exactly when the last of their four
+//! (2^d) children has been consumed, so they can be held in a logarithmic-size
+//! cache instead of being re-read from disk.
+
+/// Interleaves the bits of `coords` (d coordinates, `bits` significant bits
+/// each) into a single Morton code. Axis 0 contributes the most significant
+/// bit of each group, matching row-major tie-breaking.
+///
+/// ```
+/// use ss_array::morton_encode;
+/// assert_eq!(morton_encode(&[0b10, 0b01], 2), 0b1001);
+/// ```
+pub fn morton_encode(coords: &[usize], bits: u32) -> usize {
+    let d = coords.len();
+    let mut code = 0usize;
+    debug_assert!(
+        (bits as usize) * d <= usize::BITS as usize,
+        "morton code would overflow usize"
+    );
+    for b in (0..bits).rev() {
+        for (axis, &c) in coords.iter().enumerate() {
+            let bit = (c >> b) & 1;
+            code = (code << 1) | bit;
+            let _ = axis;
+        }
+    }
+    code
+}
+
+/// Inverse of [`morton_encode`]: writes the `d` coordinates into `out`.
+pub fn morton_decode(mut code: usize, bits: u32, out: &mut [usize]) {
+    let d = out.len();
+    out.iter_mut().for_each(|c| *c = 0);
+    for b in 0..bits {
+        for axis in (0..d).rev() {
+            out[axis] |= (code & 1) << b;
+            code >>= 1;
+        }
+    }
+}
+
+/// Iterates the cells of a `2^bits`-per-axis cubic grid in z-order.
+///
+/// ```
+/// use ss_array::MortonIter;
+/// let order: Vec<Vec<usize>> = MortonIter::new(2, 1).collect();
+/// assert_eq!(order, vec![vec![0,0], vec![0,1], vec![1,0], vec![1,1]]);
+/// ```
+pub struct MortonIter {
+    next_code: usize,
+    total: usize,
+    bits: u32,
+    d: usize,
+}
+
+impl MortonIter {
+    /// Z-order traversal of a `d`-dimensional grid with `2^bits` cells per
+    /// axis.
+    pub fn new(d: usize, bits: u32) -> Self {
+        assert!(d >= 1);
+        let total = 1usize
+            .checked_shl(bits * d as u32)
+            .expect("morton grid too large");
+        MortonIter {
+            next_code: 0,
+            total,
+            bits,
+            d,
+        }
+    }
+}
+
+impl Iterator for MortonIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.next_code >= self.total {
+            return None;
+        }
+        let mut out = vec![0usize; self.d];
+        morton_decode(self.next_code, self.bits, &mut out);
+        self.next_code += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next_code;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for MortonIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for d in 1..=4usize {
+            for bits in 0..=3u32 {
+                let side = 1usize << bits;
+                let mut out = vec![0usize; d];
+                for code in 0..side.pow(d as u32) {
+                    morton_decode(code, bits, &mut out);
+                    assert_eq!(morton_encode(&out, bits), code);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_cell_once() {
+        let cells: Vec<Vec<usize>> = MortonIter::new(3, 2).collect();
+        assert_eq!(cells.len(), 64);
+        let set: HashSet<Vec<usize>> = cells.into_iter().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn z_order_2d_first_quadrant_first() {
+        // In z-order the entire first quadrant precedes the others.
+        let cells: Vec<Vec<usize>> = MortonIter::new(2, 2).collect();
+        for (i, c) in cells.iter().enumerate() {
+            if i < 4 {
+                assert!(c[0] < 2 && c[1] < 2, "cell {c:?} at rank {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_groups_are_contiguous() {
+        // Every aligned group of 2^d consecutive codes shares a parent cell.
+        let d = 2;
+        let cells: Vec<Vec<usize>> = MortonIter::new(d, 3).collect();
+        for group in cells.chunks(1 << d) {
+            let parent: Vec<usize> = group[0].iter().map(|&c| c >> 1).collect();
+            for cell in group {
+                let p: Vec<usize> = cell.iter().map(|&c| c >> 1).collect();
+                assert_eq!(p, parent);
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_is_sequential() {
+        let cells: Vec<Vec<usize>> = MortonIter::new(1, 3).collect();
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c[0], i);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Row-major shapes and linear/multi index conversion.
+
+use std::fmt;
+
+/// A d-dimensional extent, stored as the size of each axis.
+///
+/// All arrays in this workspace are row-major: the **last** axis varies
+/// fastest. `Shape` also memoises the row-major strides so repeated index
+/// conversions stay cheap.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl Shape {
+    /// Builds a shape from per-axis sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` is empty or any axis has size zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "Shape::new: zero-dimensional shape");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "Shape::new: axis of size zero in {dims:?}"
+        );
+        let mut strides = vec![1usize; dims.len()];
+        for axis in (0..dims.len().saturating_sub(1)).rev() {
+            strides[axis] = strides[axis + 1] * dims[axis + 1];
+        }
+        let len = dims.iter().product();
+        Shape {
+            dims: dims.to_vec(),
+            strides,
+            len,
+        }
+    }
+
+    /// A hypercube shape: `d` axes of size `n` each.
+    pub fn cube(d: usize, n: usize) -> Self {
+        Shape::new(&vec![n; d])
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-axis sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Size of axis `axis`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the shape holds no cells (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` iff every axis size is a power of two.
+    pub fn is_dyadic(&self) -> bool {
+        self.dims.iter().all(|&d| crate::is_pow2(d))
+    }
+
+    /// Per-axis `log2` of the sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is not dyadic.
+    pub fn levels(&self) -> Vec<u32> {
+        self.dims.iter().map(|&d| crate::log2_exact(d)).collect()
+    }
+
+    /// Converts a multi-index to the row-major linear offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the index rank mismatches or any
+    /// coordinate is out of bounds.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (axis, &i) in idx.iter().enumerate() {
+            debug_assert!(
+                i < self.dims[axis],
+                "index {i} out of bounds for axis {axis} (size {})",
+                self.dims[axis]
+            );
+            off += i * self.strides[axis];
+        }
+        off
+    }
+
+    /// Converts a row-major linear offset back to a multi-index.
+    #[inline]
+    pub fn unoffset(&self, mut off: usize) -> Vec<usize> {
+        debug_assert!(
+            off < self.len,
+            "offset {off} out of bounds (len {})",
+            self.len
+        );
+        let mut idx = vec![0usize; self.dims.len()];
+        for axis in 0..self.dims.len() {
+            idx[axis] = off / self.strides[axis];
+            off %= self.strides[axis];
+        }
+        idx
+    }
+
+    /// Writes the multi-index for `off` into `out` without allocating.
+    #[inline]
+    pub fn unoffset_into(&self, mut off: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.dims.len());
+        for axis in 0..self.dims.len() {
+            out[axis] = off / self.strides[axis];
+            off %= self.strides[axis];
+        }
+    }
+
+    /// `true` iff `idx` lies inside the shape.
+    #[inline]
+    pub fn contains(&self, idx: &[usize]) -> bool {
+        idx.len() == self.dims.len() && idx.iter().zip(&self.dims).all(|(&i, &d)| i < d)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for d in &self.dims {
+            if !first {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[3, 5, 7]);
+        for off in 0..s.len() {
+            let idx = s.unoffset(off);
+            assert_eq!(s.offset(&idx), off);
+        }
+    }
+
+    #[test]
+    fn unoffset_into_matches_unoffset() {
+        let s = Shape::new(&[4, 4, 4]);
+        let mut buf = [0usize; 3];
+        for off in 0..s.len() {
+            s.unoffset_into(off, &mut buf);
+            assert_eq!(buf.to_vec(), s.unoffset(off));
+        }
+    }
+
+    #[test]
+    fn cube_and_dyadic() {
+        let s = Shape::cube(3, 8);
+        assert_eq!(s.dims(), &[8, 8, 8]);
+        assert!(s.is_dyadic());
+        assert_eq!(s.levels(), vec![3, 3, 3]);
+        assert!(!Shape::new(&[8, 6]).is_dyadic());
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.contains(&[1, 1]));
+        assert!(!s.contains(&[2, 0]));
+        assert!(!s.contains(&[0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_axis() {
+        Shape::new(&[4, 0]);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let s = Shape::new(&[16]);
+        assert_eq!(s.offset(&[7]), 7);
+        assert_eq!(s.unoffset(9), vec![9]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: Haar codecs (1-d, standard, non-standard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ss_array::{NdArray, Shape};
+
+fn bench_haar1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar1d");
+    for n in [10u32, 14, 18] {
+        let len = 1usize << n;
+        let data: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("forward", len), &data, |b, data| {
+            b.iter(|| {
+                let mut v = data.clone();
+                ss_core::haar1d::forward(&mut v);
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", len), &data, |b, data| {
+            let coeffs = ss_core::haar1d::forward_to_vec(data);
+            b.iter(|| {
+                let mut v = coeffs.clone();
+                ss_core::haar1d::inverse(&mut v);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multidim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multidim");
+    for side in [64usize, 256] {
+        let a = NdArray::from_fn(Shape::cube(2, side), |idx| {
+            (idx[0] as f64 * 0.11).sin() + idx[1] as f64 * 0.01
+        });
+        group.throughput(Throughput::Elements((side * side) as u64));
+        group.bench_with_input(BenchmarkId::new("standard_2d", side), &a, |b, a| {
+            b.iter(|| ss_core::standard::forward_to(a))
+        });
+        group.bench_with_input(BenchmarkId::new("nonstandard_2d", side), &a, |b, a| {
+            b.iter(|| ss_core::nonstandard::forward_to(a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_haar1d, bench_multidim);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks: the SHIFT and SPLIT primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ss_array::{NdArray, Shape};
+
+fn bench_shift_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shift");
+    // Re-indexing throughput: the cost of SHIFT is pure index arithmetic.
+    let (n, m, block) = (20u32, 10u32, 517usize);
+    group.throughput(Throughput::Elements((1 << m) - 1));
+    group.bench_function("shift_index_1d_full_chunk", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for local in 1..(1usize << m) {
+                acc ^= ss_core::shift::shift_index_1d(n, m, block, local);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_split_targets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split");
+    for n in [16u32, 24, 32] {
+        group.bench_with_input(BenchmarkId::new("split_targets_1d", n), &n, |b, &n| {
+            b.iter(|| ss_core::split::split_targets_1d(n, 4, 1234 % (1usize << (n - 4))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunk_deltas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_deltas");
+    // The full delta stream of one transformed chunk, both forms, d=2.
+    let (n, m) = (12u32, 5u32);
+    let chunk = {
+        let mut a = NdArray::from_fn(Shape::cube(2, 1 << m), |idx| {
+            ((idx[0] * 7 + idx[1] * 3) % 11) as f64
+        });
+        ss_core::standard::forward(&mut a);
+        a
+    };
+    group.throughput(Throughput::Elements(chunk.len() as u64));
+    group.bench_function("standard_deltas_32x32_into_4096x4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            ss_core::split::standard_deltas(&chunk, &[n, n], &[3, 5], |_, delta| acc += delta);
+            acc
+        })
+    });
+    let ns_chunk = {
+        let mut a = NdArray::from_fn(Shape::cube(2, 1 << m), |idx| {
+            ((idx[0] * 7 + idx[1] * 3) % 11) as f64
+        });
+        ss_core::nonstandard::forward(&mut a);
+        a
+    };
+    group.bench_function("nonstandard_deltas_32x32_into_4096x4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            ss_core::split::nonstandard_deltas(&ns_chunk, n, &[3, 5], |_, delta| acc += delta);
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expand");
+    let coeffs: Vec<f64> = (0..(1 << 16)).map(|i| (i as f64 * 0.01).cos()).collect();
+    group.throughput(Throughput::Elements(coeffs.len() as u64));
+    group.bench_function("expand_1d_64k", |b| {
+        b.iter(|| ss_core::append::expand_1d(&coeffs))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shift_index,
+    bench_split_targets,
+    bench_chunk_deltas,
+    bench_expand
+);
+criterion_main!(benches);

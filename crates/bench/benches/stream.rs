@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks: stream synopsis maintenance throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ss_stream::{BufferedStream, PerItemStream};
+
+const N_LEVELS: u32 = 16;
+const K: usize = 32;
+
+fn bench_stream(c: &mut Criterion) {
+    let n = 1usize << N_LEVELS;
+    let data = ss_datagen::sensor_stream(n, 5);
+    let mut group = c.benchmark_group("stream_synopsis");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("per_item", |b| {
+        b.iter(|| {
+            let mut s = PerItemStream::new(K, N_LEVELS);
+            for &x in &data {
+                s.push(x);
+            }
+            s.work()
+        })
+    });
+    for buf in [4u32, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("buffered", 1usize << buf),
+            &buf,
+            |b, &buf| {
+                b.iter(|| {
+                    let mut s = BufferedStream::new(K, buf, N_LEVELS);
+                    for &x in &data {
+                        s.push(x);
+                    }
+                    s.work()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded
+//! results). The binaries print markdown tables to stdout; run them all
+//! with `scripts/run_experiments.sh`.
+//!
+//! The paper's absolute numbers came from a 2005 testbed and 16 GB inputs;
+//! the harnesses default to laptop-scale shapes that preserve every *ratio*
+//! the paper argues about (who wins, by what factor, where the crossovers
+//! sit). Scale knobs are compiled in as constants at the top of each
+//! binary.
+
+// Axis-indexed loops over parallel arrays are the clearest idiom here.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt::Display;
+
+/// Accumulates rows and prints a markdown table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringifying each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Pretty-prints a count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// `x` rounded to `digits` decimal places, as a string.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&[&1, &"xyz"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a |"), "{md}");
+        assert!(md.contains("xyz"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(&["a"]);
+        t.row(&[&1, &2]);
+    }
+
+    #[test]
+    fn fmt_count_groups() {
+        assert_eq!(fmt_count(1), "1");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal flag parsing — `--key value` pairs plus positionals, no
+//! external dependencies.
+
+use std::collections::HashMap;
+
+/// Parsed command-line: positional arguments and `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (everything after the subcommand name).
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                if out.flags.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(format!("duplicate flag --{key}"));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn pos(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing argument: {what}"))
+    }
+
+    /// Number of positional arguments.
+    pub fn pos_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// A required flag value.
+    pub fn flag(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing flag: --{key}"))
+    }
+
+    /// An optional flag value.
+    pub fn flag_opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+}
+
+/// Parses `a,b,c` into integers.
+pub fn parse_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("not a number: {p}"))
+        })
+        .collect()
+}
+
+/// Parses `a,b,c` into `u32`s.
+pub fn parse_list_u32(s: &str) -> Result<Vec<u32>, String> {
+    parse_list(s).map(|v| v.into_iter().map(|x| x as u32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&raw(&["store.ws", "--levels", "3,3", "--axis", "1"])).unwrap();
+        assert_eq!(a.pos(0, "store").unwrap(), "store.ws");
+        assert_eq!(a.flag("levels").unwrap(), "3,3");
+        assert_eq!(a.flag_opt("missing"), None);
+        assert_eq!(a.pos_len(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(Args::parse(&raw(&["--k"])).is_err());
+        assert!(Args::parse(&raw(&["--k", "1", "--k", "2"])).is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(parse_list("1, 2,3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_list("1,x").is_err());
+        assert_eq!(parse_list_u32("4,5").unwrap(), vec![4u32, 5]);
+    }
+}

@@ -1,0 +1,373 @@
+//! The CLI subcommands.
+
+use crate::args::{parse_list, parse_list_u32, Args};
+use crate::csv;
+use crate::wsfile::{Meta, WsFile};
+use ss_array::NdArray;
+use ss_core::TilingMap;
+use ss_transform::ArraySource;
+use std::path::Path;
+
+/// `create <store> --levels a,b,… [--tiles a,b,…] [--axis k]`
+pub fn create(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let levels = parse_list_u32(args.flag("levels")?)?;
+    let tiles = match args.flag_opt("tiles") {
+        Some(t) => parse_list_u32(t)?,
+        None => levels.iter().map(|&n| n.min(2)).collect(),
+    };
+    let axis = match args.flag_opt("axis") {
+        Some(a) => a.parse::<usize>().map_err(|e| e.to_string())?,
+        None => levels.len() - 1,
+    };
+    if tiles.len() != levels.len() {
+        return Err("levels/tiles rank mismatch".into());
+    }
+    if axis >= levels.len() {
+        return Err("append axis out of range".into());
+    }
+    let meta = Meta {
+        levels,
+        tiles,
+        filled: 0,
+        axis,
+    };
+    let ws = WsFile::create(Path::new(path), meta)?;
+    println!(
+        "created {} ({} blocks of {} coefficients)",
+        path,
+        ws.store.map().num_tiles(),
+        ws.store.map().block_capacity()
+    );
+    Ok(())
+}
+
+/// `ingest <store> --data values.csv [--chunk a,b,…]`
+pub fn ingest(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let mut ws = WsFile::open(Path::new(path))?;
+    let dims = ws.meta.dims();
+    let data = csv::read_array(Path::new(args.flag("data")?), &dims)?;
+    let chunk_levels: Vec<u32> = match args.flag_opt("chunk") {
+        Some(c) => parse_list_u32(c)?,
+        None => ws.meta.levels.iter().map(|&n| n.min(3)).collect(),
+    };
+    let src = ArraySource::new(&data, &chunk_levels);
+    let report = ss_transform::transform_standard(&src, &mut ws.store, false);
+    ws.meta.filled = dims[ws.meta.axis];
+    ws.save_meta()?;
+    println!(
+        "ingested {} cells in {} chunks [{}]",
+        report.input_coeffs,
+        report.chunks,
+        ws.stats.snapshot()
+    );
+    Ok(())
+}
+
+/// `point <store> i,j,…`
+pub fn point(args: &Args) -> Result<(), String> {
+    if args.pos_len() > 2 {
+        return Err("point takes exactly a store path and one position".into());
+    }
+    let path = args.pos(0, "store path")?;
+    let pos = parse_list(args.pos(1, "position (i,j,…)")?)?;
+    let mut ws = WsFile::open(Path::new(path))?;
+    check_rank(&ws.meta, pos.len())?;
+    let value = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &pos);
+    println!("{value}");
+    eprintln!("[{}]", ws.stats.snapshot());
+    Ok(())
+}
+
+/// `sum <store> --lo a,b,… --hi a,b,…`
+pub fn sum(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let lo = parse_list(args.flag("lo")?)?;
+    let hi = parse_list(args.flag("hi")?)?;
+    let mut ws = WsFile::open(Path::new(path))?;
+    check_rank(&ws.meta, lo.len())?;
+    check_rank(&ws.meta, hi.len())?;
+    let value = ss_query::range_sum_standard(&mut ws.store, &ws.meta.levels, &lo, &hi);
+    println!("{value}");
+    eprintln!("[{}]", ws.stats.snapshot());
+    Ok(())
+}
+
+/// `extract <store> --lo a,b,… --hi a,b,… [--out file]`
+pub fn extract(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let lo = parse_list(args.flag("lo")?)?;
+    let hi = parse_list(args.flag("hi")?)?;
+    let mut ws = WsFile::open(Path::new(path))?;
+    check_rank(&ws.meta, lo.len())?;
+    let region = ss_query::reconstruct_box_standard(&mut ws.store, &ws.meta.levels, &lo, &hi);
+    let text = csv::write_array(&region);
+    match args.flag_opt("out") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| e.to_string())?;
+            println!("wrote {} cells to {out}", region.len());
+        }
+        None => print!("{text}"),
+    }
+    eprintln!("[{}]", ws.stats.snapshot());
+    Ok(())
+}
+
+/// `update <store> --at a,b,… --data delta.csv --dims a,b,…`
+pub fn update(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let origin = parse_list(args.flag("at")?)?;
+    let dims = parse_list(args.flag("dims")?)?;
+    let delta = csv::read_array(Path::new(args.flag("data")?), &dims)?;
+    let mut ws = WsFile::open(Path::new(path))?;
+    check_rank(&ws.meta, origin.len())?;
+    let pieces = ss_transform::update_box_standard(&mut ws.store, &ws.meta.levels, &origin, &delta);
+    println!(
+        "applied {} update cells as {pieces} dyadic pieces [{}]",
+        delta.len(),
+        ws.stats.snapshot()
+    );
+    Ok(())
+}
+
+/// `append <store> --data chunk.csv --extent n`
+///
+/// The chunk spans the full domain on every non-append axis and `extent`
+/// cells along the append axis. Reopens/expands the store as needed.
+pub fn append(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let extent = args
+        .flag("extent")?
+        .parse::<usize>()
+        .map_err(|e| e.to_string())?;
+    if !ss_array::is_pow2(extent) {
+        return Err("extent must be a power of two".into());
+    }
+    let ws = WsFile::open(Path::new(path))?;
+    let meta = ws.meta.clone();
+    drop(ws);
+    let mut dims = meta.dims();
+    dims[meta.axis] = extent;
+    let chunk = csv::read_array(Path::new(args.flag("data")?), &dims)?;
+    // Rebuild an Appender over the persistent file, seeded from the meta.
+    let stats = ss_storage::IoStats::new();
+    let new_meta = append_to_file(Path::new(path), meta, &chunk, stats.clone())?;
+    println!(
+        "appended {extent} slices; domain now {:?}, filled {} [{}]",
+        new_meta.dims(),
+        new_meta.filled,
+        stats.snapshot()
+    );
+    Ok(())
+}
+
+/// Appends one chunk to a store file, expanding (into a rewritten file)
+/// when the domain must double. Returns the updated metadata.
+fn append_to_file(
+    path: &Path,
+    mut meta: Meta,
+    chunk: &NdArray<f64>,
+    stats: ss_storage::IoStats,
+) -> Result<Meta, String> {
+    let extent = chunk.shape().dim(meta.axis);
+    // Expand as many times as needed, each into a fresh file swapped over
+    // the old one.
+    while meta.filled + extent > (1usize << meta.levels[meta.axis]) {
+        expand_file(path, &mut meta, stats.clone())?;
+    }
+    let mut ws = open_with_meta(path, meta.clone(), stats.clone())?;
+    let mut block = vec![0usize; meta.levels.len()];
+    block[meta.axis] = meta.filled / extent;
+    let mut t = chunk.clone();
+    ss_core::standard::forward(&mut t);
+    ss_core::split::standard_deltas(&t, &meta.levels, &block, |idx, delta| {
+        ws.store.add(idx, delta);
+    });
+    ws.store.flush();
+    meta.filled += extent;
+    ws.meta = meta.clone();
+    ws.save_meta()?;
+    Ok(meta)
+}
+
+/// Opens the blocks file under caller-supplied metadata and counters. The
+/// metadata is authoritative (the on-disk `.meta` may be mid-update during
+/// an expansion).
+fn open_with_meta(path: &Path, meta: Meta, stats: ss_storage::IoStats) -> Result<WsFile, String> {
+    let map = meta.tiling();
+    let blocks = ss_storage::FileBlockStore::open(
+        path,
+        map.block_capacity(),
+        map.num_tiles(),
+        stats.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(WsFile::from_parts(meta, map, blocks, stats, path))
+}
+
+/// Doubles the append axis of the store at `path`, migrating coefficients
+/// into a rewritten blocks file.
+fn expand_file(path: &Path, meta: &mut Meta, stats: ss_storage::IoStats) -> Result<(), String> {
+    let mut old = open_with_meta(path, meta.clone(), stats.clone())?;
+    let mut new_meta = meta.clone();
+    new_meta.levels[meta.axis] += 1;
+    let tmp = path.with_extension("expand.tmp");
+    let new_map = new_meta.tiling();
+    let new_blocks = ss_storage::FileBlockStore::create(
+        &tmp,
+        new_map.block_capacity(),
+        new_map.num_tiles(),
+        stats.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut new_store = ss_storage::CoeffStore::new(new_map, new_blocks, 1 << 10, stats.clone());
+    // Migrate every coefficient (details keep (level, k); the old average
+    // splits into the new average plus the new root detail).
+    let n_axis = meta.levels[meta.axis];
+    let old_dims = meta.dims();
+    let d = old_dims.len();
+    let mut target = vec![0usize; d];
+    for idx in ss_array::MultiIndexIter::new(&old_dims) {
+        let v = old.store.read(&idx);
+        if v == 0.0 {
+            continue;
+        }
+        target.copy_from_slice(&idx);
+        for (new_i, factor) in ss_core::append::expand_index_1d(n_axis, idx[meta.axis]) {
+            target[meta.axis] = new_i;
+            new_store.add(&target, v * factor);
+        }
+    }
+    new_store.flush();
+    drop(new_store);
+    drop(old);
+    std::fs::rename(&tmp, path).map_err(|e| e.to_string())?;
+    *meta = new_meta;
+    Ok(())
+}
+
+/// `stats <store>`
+pub fn stats(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let ws = WsFile::open(Path::new(path))?;
+    let map = ws.meta.tiling();
+    println!("store   : {path}");
+    println!(
+        "domain  : {:?} (levels {:?})",
+        ws.meta.dims(),
+        ws.meta.levels
+    );
+    println!(
+        "tiles   : {} blocks x {} coefficients (per-axis sides {:?})",
+        map.num_tiles(),
+        map.block_capacity(),
+        ws.meta
+            .tiles
+            .iter()
+            .map(|&b| 1usize << b)
+            .collect::<Vec<_>>()
+    );
+    println!("append  : axis {}, filled {}", ws.meta.axis, ws.meta.filled);
+    println!(
+        "on disk : {} bytes",
+        std::fs::metadata(ws.path()).map(|m| m.len()).unwrap_or(0)
+    );
+    Ok(())
+}
+
+/// `stream --data values.csv --k K [--buffer B]`
+pub fn stream(args: &Args) -> Result<(), String> {
+    let values = csv::read_values(Path::new(args.flag("data")?))?;
+    let k = args
+        .flag("k")?
+        .parse::<usize>()
+        .map_err(|e| e.to_string())?;
+    let buffer = match args.flag_opt("buffer") {
+        Some(b) => b.parse::<usize>().map_err(|e| e.to_string())?,
+        None => 64,
+    };
+    if !ss_array::is_pow2(buffer) {
+        return Err("buffer must be a power of two".into());
+    }
+    let max_levels = ss_array::log2_exact(ss_array::next_pow2(values.len()));
+    let buf_levels = ss_array::log2_exact(buffer).min(max_levels);
+    let mut s = ss_stream::BufferedStream::new(k, buf_levels, max_levels);
+    for &x in &values {
+        s.push(x);
+    }
+    println!(
+        "processed {} items with {} coefficient ops ({:.2}/item)",
+        values.len(),
+        s.work(),
+        s.work() as f64 / values.len() as f64
+    );
+    println!(
+        "top {} coefficients by orthonormal magnitude:",
+        s.entries().len().min(10)
+    );
+    for e in s.entries().iter().take(10) {
+        let start = e.key.k << e.key.level;
+        println!(
+            "  level {:>2} items [{start}, {}]  value {:>10.4}  magnitude {:>10.2}",
+            e.key.level,
+            start + (1usize << e.key.level) - 1,
+            e.value,
+            e.magnitude()
+        );
+    }
+    Ok(())
+}
+
+/// `synopsis <store> --k K --out syn.bin`
+///
+/// Builds a K-term synopsis of the store and writes it as a compact binary
+/// blob a client can query offline (see [`query_synopsis`]).
+pub fn synopsis(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let k = args
+        .flag("k")?
+        .parse::<usize>()
+        .map_err(|e| e.to_string())?;
+    let out = args.flag("out")?;
+    let mut ws = WsFile::open(Path::new(path))?;
+    let syn = ss_query::StoredSynopsis::build(&mut ws.store, &ws.meta.levels, k);
+    let bytes = syn.to_bytes();
+    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}-term synopsis ({} bytes, {:.3}% of the cube) to {out}",
+        syn.retained(),
+        bytes.len(),
+        100.0 * syn.retained() as f64 / ws.meta.dims().iter().product::<usize>() as f64
+    );
+    Ok(())
+}
+
+/// `asksyn <syn.bin> (--at i,j,… | --lo … --hi …)`
+///
+/// Answers approximate queries from a synopsis file — no store needed.
+pub fn query_synopsis(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "synopsis path")?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let syn = ss_query::StoredSynopsis::from_bytes(&bytes)?;
+    if let Some(at) = args.flag_opt("at") {
+        let pos = parse_list(at)?;
+        println!("{}", syn.point(&pos));
+        return Ok(());
+    }
+    let lo = parse_list(args.flag("lo")?)?;
+    let hi = parse_list(args.flag("hi")?)?;
+    println!("{}", syn.range_sum(&lo, &hi));
+    Ok(())
+}
+
+fn check_rank(meta: &Meta, rank: usize) -> Result<(), String> {
+    if rank != meta.levels.len() {
+        Err(format!(
+            "expected {} coordinates, got {rank}",
+            meta.levels.len()
+        ))
+    } else {
+        Ok(())
+    }
+}

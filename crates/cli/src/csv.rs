@@ -1,0 +1,98 @@
+//! Plain-text value I/O: one row per line, comma-separated cells, row-major
+//! over the trailing axes. A file is just a flat stream of `f64`s.
+
+use ss_array::{NdArray, Shape};
+use std::path::Path;
+
+/// Reads a flat stream of numbers (commas and/or newlines as separators).
+pub fn read_values(path: &Path) -> Result<Vec<f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        for cell in line.split(',') {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                continue;
+            }
+            out.push(
+                cell.parse::<f64>()
+                    .map_err(|_| format!("line {}: not a number: {cell}", lineno + 1))?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a file into an array of the given dims (row-major).
+pub fn read_array(path: &Path, dims: &[usize]) -> Result<NdArray<f64>, String> {
+    let values = read_values(path)?;
+    let shape = Shape::new(dims);
+    if values.len() != shape.len() {
+        return Err(format!(
+            "{} holds {} values, expected {} for shape {shape}",
+            path.display(),
+            values.len(),
+            shape.len()
+        ));
+    }
+    Ok(NdArray::from_vec(shape, values))
+}
+
+/// Writes an array as rows of the last axis.
+pub fn write_array(array: &NdArray<f64>) -> String {
+    let dims = array.shape().dims();
+    let row = dims[dims.len() - 1];
+    let mut out = String::new();
+    for (i, v) in array.as_slice().iter().enumerate() {
+        out.push_str(&format!("{v}"));
+        if (i + 1) % row == 0 {
+            out.push('\n');
+        } else {
+            out.push(',');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ss_csv_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let a = NdArray::from_fn(Shape::new(&[2, 3]), |idx| {
+            (idx[0] * 3 + idx[1]) as f64 * 0.5
+        });
+        let text = write_array(&a);
+        let path = tmp("roundtrip");
+        std::fs::write(&path, &text).unwrap();
+        let back = read_array(&path, &[2, 3]).unwrap();
+        assert_eq!(a, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let path = tmp("comments");
+        std::fs::write(&path, "# header\n1, 2\n\n3,4 # trailing\n").unwrap();
+        assert_eq!(read_values(&path).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let path = tmp("mismatch");
+        std::fs::write(&path, "1,2,3\n").unwrap();
+        assert!(read_array(&path, &[2, 2]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,308 @@
+//! `shiftsplit` — command-line front end for wavelet-transformed
+//! multidimensional stores.
+//!
+//! ```text
+//! shiftsplit create  store.ws --levels 3,3,5 [--tiles 2,2,2] [--axis 2]
+//! shiftsplit ingest  store.ws --data values.csv [--chunk 2,2,3]
+//! shiftsplit point   store.ws 3,7,100
+//! shiftsplit sum     store.ws --lo 0,0,0 --hi 7,7,99
+//! shiftsplit extract store.ws --lo 0,0,0 --hi 7,7,0 [--out region.csv]
+//! shiftsplit update  store.ws --at 3,5,0 --dims 2,2,4 --data delta.csv
+//! shiftsplit append  store.ws --extent 32 --data month.csv
+//! shiftsplit stats   store.ws
+//! shiftsplit stream  --data readings.csv --k 32 [--buffer 64]
+//! shiftsplit demo
+//! ```
+//!
+//! Stores persist as a blocks file plus a `.meta` text header; all
+//! maintenance (ingest, update, append with domain expansion) runs in the
+//! wavelet domain via SHIFT-SPLIT.
+
+mod args;
+mod commands;
+mod csv;
+mod wsfile;
+
+use args::Args;
+
+const USAGE: &str = "\
+shiftsplit — I/O-efficient maintenance of wavelet-transformed data
+
+USAGE:
+  shiftsplit <command> [args]
+
+COMMANDS:
+  create  <store> --levels a,b,…   create an empty store (log2 sizes)
+  ingest  <store> --data FILE      transform a full dataset into the store
+  point   <store> i,j,…            query one cell
+  sum     <store> --lo … --hi …    range-sum query
+  extract <store> --lo … --hi …    reconstruct a region
+  update  <store> --at … --dims … --data FILE   add a delta box
+  append  <store> --extent N --data FILE        append along the grow axis
+  stats   <store>                  show store geometry
+  synopsis <store> --k K --out F   export a K-term synopsis blob
+  asksyn  <F> --at …|--lo …--hi …  approximate queries from a synopsis
+  stream  --data FILE --k K        best-K synopsis of a value stream
+  demo                             self-contained demonstration
+
+Run any command without its required flags to see what it needs.";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&raw) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let command = raw.first().map(|s| s.as_str()).unwrap_or("");
+    let rest = if raw.is_empty() { &[][..] } else { &raw[1..] };
+    let args = Args::parse(rest)?;
+    match command {
+        "create" => commands::create(&args),
+        "ingest" => commands::ingest(&args),
+        "point" => commands::point(&args),
+        "sum" => commands::sum(&args),
+        "extract" => commands::extract(&args),
+        "update" => commands::update(&args),
+        "append" => commands::append(&args),
+        "stats" => commands::stats(&args),
+        "synopsis" => commands::synopsis(&args),
+        "asksyn" => commands::query_synopsis(&args),
+        "stream" => commands::stream(&args),
+        "demo" => demo(),
+        "" => Err("no command given".into()),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+/// A self-contained walkthrough requiring no input files.
+fn demo() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("ss_cli_demo_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let store = dir.join("demo.ws");
+    let store_s = store.to_str().ok_or("non-utf8 temp path")?.to_string();
+
+    println!("## creating an 8x8x32 store (growing along axis 2)\n");
+    run(&to_args(&[
+        "create", &store_s, "--levels", "3,3,5", "--tiles", "2,2,2",
+    ]))?;
+
+    println!("\n## ingesting one month of synthetic rainfall\n");
+    let month = ss_datagen::precipitation_month(8, 8, 32, 0, 1);
+    let data_file = dir.join("month0.csv");
+    std::fs::write(&data_file, csv::write_array(&month)).map_err(|e| e.to_string())?;
+    run(&to_args(&[
+        "ingest",
+        &store_s,
+        "--data",
+        data_file.to_str().unwrap(),
+    ]))?;
+
+    println!("\n## appending a second month (the domain doubles)\n");
+    let month1 = ss_datagen::precipitation_month(8, 8, 32, 1, 1);
+    let data_file1 = dir.join("month1.csv");
+    std::fs::write(&data_file1, csv::write_array(&month1)).map_err(|e| e.to_string())?;
+    run(&to_args(&[
+        "append",
+        &store_s,
+        "--extent",
+        "32",
+        "--data",
+        data_file1.to_str().unwrap(),
+    ]))?;
+
+    println!("\n## querying\n");
+    run(&to_args(&["stats", &store_s]))?;
+    print!("total rainfall month 1: ");
+    run(&to_args(&[
+        "sum", &store_s, "--lo", "0,0,32", "--hi", "7,7,63",
+    ]))?;
+    print!("cell (2,3,40): ");
+    run(&to_args(&["point", &store_s, "2,3,40"]))?;
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\ndemo complete.");
+    Ok(())
+}
+
+fn to_args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ss_cli_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let dir = tmp_dir("lifecycle");
+        let store = dir.join("t.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        // create
+        run(&to_args(&[
+            "create", &store_s, "--levels", "2,3", "--tiles", "1,1",
+        ]))
+        .unwrap();
+        // ingest 4x8 values 0..32
+        let data: Vec<String> = (0..4)
+            .map(|r| {
+                (0..8)
+                    .map(|c| ((r * 8 + c) as f64).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let f = dir.join("data.csv");
+        std::fs::write(&f, data.join("\n")).unwrap();
+        run(&to_args(&[
+            "ingest",
+            &store_s,
+            "--data",
+            f.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // queries execute without error (values checked in library tests)
+        run(&to_args(&["point", &store_s, "2,5"])).unwrap();
+        run(&to_args(&["sum", &store_s, "--lo", "0,0", "--hi", "3,7"])).unwrap();
+        run(&to_args(&["stats", &store_s])).unwrap();
+        // update a 2x2 box
+        let delta = dir.join("delta.csv");
+        std::fs::write(&delta, "1,1\n1,1\n").unwrap();
+        run(&to_args(&[
+            "update",
+            &store_s,
+            "--at",
+            "1,3",
+            "--dims",
+            "2,2",
+            "--data",
+            delta.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_through_cli_expands_domain() {
+        let dir = tmp_dir("append");
+        let store = dir.join("a.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&[
+            "create", &store_s, "--levels", "1,2", "--axis", "1",
+        ]))
+        .unwrap();
+        let chunk = dir.join("c.csv");
+        std::fs::write(&chunk, "1,2,3,4\n5,6,7,8\n").unwrap();
+        // Two appends of extent 4: second one doubles axis 1 from 4 to 8.
+        run(&to_args(&[
+            "append",
+            &store_s,
+            "--extent",
+            "4",
+            "--data",
+            chunk.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&[
+            "append",
+            &store_s,
+            "--extent",
+            "4",
+            "--data",
+            chunk.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let meta = crate::wsfile::WsFile::open(&store).unwrap().meta;
+        assert_eq!(meta.levels, vec![1, 3]);
+        assert_eq!(meta.filled, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&to_args(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn synopsis_roundtrip_through_cli() {
+        let dir = tmp_dir("synopsis");
+        let store = dir.join("s.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&[
+            "create", &store_s, "--levels", "3,3", "--tiles", "1,1",
+        ]))
+        .unwrap();
+        let data: Vec<String> = (0..8)
+            .map(|r| {
+                (0..8)
+                    .map(|c| ((r + c) as f64).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let f = dir.join("data.csv");
+        std::fs::write(&f, data.join("\n")).unwrap();
+        run(&to_args(&[
+            "ingest",
+            &store_s,
+            "--data",
+            f.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let syn = dir.join("syn.bin");
+        run(&to_args(&[
+            "synopsis",
+            &store_s,
+            "--k",
+            "64",
+            "--out",
+            syn.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&to_args(&["asksyn", syn.to_str().unwrap(), "--at", "2,3"])).unwrap();
+        run(&to_args(&[
+            "asksyn",
+            syn.to_str().unwrap(),
+            "--lo",
+            "0,0",
+            "--hi",
+            "7,7",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_command() {
+        let dir = tmp_dir("stream");
+        let f = dir.join("v.csv");
+        let values: Vec<String> = (0..256).map(|i| (i % 17).to_string()).collect();
+        std::fs::write(&f, values.join("\n")).unwrap();
+        run(&to_args(&[
+            "stream",
+            "--data",
+            f.to_str().unwrap(),
+            "--k",
+            "8",
+            "--buffer",
+            "16",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

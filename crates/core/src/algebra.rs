@@ -1,0 +1,249 @@
+//! Algebra on standard-form transforms, *entirely in the wavelet domain*.
+//!
+//! The paper's introduction credits Chakrabarti et al. with re-defining
+//! relational operators to work directly on wavelet data; SHIFT-SPLIT
+//! extends the same philosophy to maintenance. This module supplies the
+//! remaining day-to-day operators a wavelet data cube needs, each with a
+//! closed-form coefficient-space implementation (never reconstructing):
+//!
+//! * [`add_scaled`] — linear combinations of cubes (transforms are linear);
+//! * [`project_sum`] — summing out an axis: details integrate to zero, so
+//!   the marginal's transform is `N_t ×` the axis-index-0 slice;
+//! * [`slice_at`] — fixing one coordinate: each output coefficient is the
+//!   `(n_t + 1)`-term Lemma 1 combination along the sliced axis;
+//! * [`coarsen_axis`] — halving an axis by pairwise averaging: drop that
+//!   axis's finest-level details (the multiresolution property, literally).
+
+use crate::layout::Layout1d;
+use ss_array::{MultiIndexIter, NdArray, Shape};
+
+/// `out = a + alpha · b`, in the wavelet domain. Both inputs must be
+/// standard-form transforms of identically-shaped data.
+pub fn add_scaled(a: &NdArray<f64>, b: &NdArray<f64>, alpha: f64) -> NdArray<f64> {
+    assert_eq!(a.shape(), b.shape(), "add_scaled: shape mismatch");
+    let mut out = a.clone();
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o += alpha * v;
+    }
+    out
+}
+
+/// Sums out `axis`: returns the transform of
+/// `m[rest] = Σ_{i} data[..., i, ...]` computed without reconstruction.
+///
+/// Every detail coefficient along the summed axis integrates to zero over
+/// the full domain, so the marginal's transform is exactly `N_axis` times
+/// the slice of the input at axis-index 0. Cost: one pass over the output.
+pub fn project_sum(t: &NdArray<f64>, axis: usize) -> NdArray<f64> {
+    let shape = t.shape().clone();
+    let d = shape.ndim();
+    assert!(d >= 2, "project_sum needs at least two axes");
+    assert!(axis < d);
+    let n_axis = shape.dim(axis) as f64;
+    let out_dims: Vec<usize> = (0..d)
+        .filter(|&a| a != axis)
+        .map(|a| shape.dim(a))
+        .collect();
+    let mut idx = vec![0usize; d];
+    NdArray::from_fn(Shape::new(&out_dims), |rest| {
+        let mut r = 0usize;
+        for a in 0..d {
+            if a == axis {
+                idx[a] = 0;
+            } else {
+                idx[a] = rest[r];
+                r += 1;
+            }
+        }
+        n_axis * t.get(&idx)
+    })
+}
+
+/// Averages out `axis` (the `AVG` marginal): [`project_sum`] divided by the
+/// axis length.
+pub fn project_avg(t: &NdArray<f64>, axis: usize) -> NdArray<f64> {
+    let n_axis = t.shape().dim(axis) as f64;
+    let mut out = project_sum(t, axis);
+    for v in out.as_mut_slice() {
+        *v /= n_axis;
+    }
+    out
+}
+
+/// Fixes `axis` at coordinate `pos`: returns the transform of the
+/// `(d−1)`-dimensional slice `data[..., pos, ...]`, computed in coefficient
+/// space via Lemma 1 along the sliced axis (`n_axis + 1` input coefficients
+/// per output coefficient).
+pub fn slice_at(t: &NdArray<f64>, axis: usize, pos: usize) -> NdArray<f64> {
+    let shape = t.shape().clone();
+    let d = shape.ndim();
+    assert!(d >= 2, "slice_at needs at least two axes");
+    assert!(axis < d);
+    assert!(pos < shape.dim(axis));
+    let layout = Layout1d::for_len(shape.dim(axis));
+    let contribs = layout.point_contributions(pos);
+    let out_dims: Vec<usize> = (0..d)
+        .filter(|&a| a != axis)
+        .map(|a| shape.dim(a))
+        .collect();
+    let mut idx = vec![0usize; d];
+    NdArray::from_fn(Shape::new(&out_dims), |rest| {
+        let mut r = 0usize;
+        for a in 0..d {
+            if a != axis {
+                idx[a] = rest[r];
+                r += 1;
+            }
+        }
+        contribs
+            .iter()
+            .map(|&(i, w)| {
+                idx[axis] = i;
+                w * t.get(&idx)
+            })
+            .sum()
+    })
+}
+
+/// Halves `axis` by pairwise averaging (one multiresolution step): the
+/// result's transform is the input's with that axis's finest-level details
+/// dropped — a pure re-slicing, no arithmetic on values.
+pub fn coarsen_axis(t: &NdArray<f64>, axis: usize) -> NdArray<f64> {
+    let shape = t.shape().clone();
+    let d = shape.ndim();
+    assert!(axis < d);
+    let len = shape.dim(axis);
+    assert!(len >= 2, "axis already at minimum resolution");
+    let mut out_dims = shape.dims().to_vec();
+    out_dims[axis] = len / 2;
+    let mut out = NdArray::<f64>::zeros(Shape::new(&out_dims));
+    for idx in MultiIndexIter::new(&out_dims) {
+        // Indices < len/2 along the axis are exactly the coarser transform.
+        out.set(&idx, t.get(&idx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard;
+
+    fn sample(dims: &[usize]) -> NdArray<f64> {
+        NdArray::from_fn(Shape::new(dims), |idx| {
+            idx.iter()
+                .enumerate()
+                .map(|(t, &i)| ((i * (t + 2) + 1) % 9) as f64)
+                .product::<f64>()
+                - 3.0
+        })
+    }
+
+    #[test]
+    fn add_scaled_matches_direct() {
+        let a = sample(&[8, 4]);
+        let b = sample(&[8, 4]);
+        let direct = {
+            let mut c = a.clone();
+            for (x, &y) in c.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *x += 2.5 * y;
+            }
+            standard::forward_to(&c)
+        };
+        let in_domain = add_scaled(&standard::forward_to(&a), &standard::forward_to(&b), 2.5);
+        assert!(direct.max_abs_diff(&in_domain) < 1e-9);
+    }
+
+    #[test]
+    fn project_sum_matches_direct_marginal() {
+        let a = sample(&[8, 16]);
+        let t = standard::forward_to(&a);
+        for axis in 0..2usize {
+            let got = project_sum(&t, axis);
+            // Direct marginal.
+            let out_len = if axis == 0 { 16 } else { 8 };
+            let marginal = NdArray::from_fn(Shape::new(&[out_len]), |rest| {
+                let mut s = 0.0;
+                for i in 0..a.shape().dim(axis) {
+                    let idx = if axis == 0 {
+                        [i, rest[0]]
+                    } else {
+                        [rest[0], i]
+                    };
+                    s += a.get(&idx);
+                }
+                s
+            });
+            let want = standard::forward_to(&marginal);
+            assert!(got.max_abs_diff(&want) < 1e-9, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn project_avg_is_scaled_sum() {
+        let a = sample(&[4, 8]);
+        let t = standard::forward_to(&a);
+        let avg = project_avg(&t, 0);
+        let sum = project_sum(&t, 0);
+        for i in 0..8usize {
+            assert!((avg.get(&[i]) * 4.0 - sum.get(&[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slice_at_matches_direct_slice() {
+        let a = sample(&[8, 16]);
+        let t = standard::forward_to(&a);
+        for pos in [0usize, 5, 7] {
+            let got = slice_at(&t, 0, pos);
+            let row = NdArray::from_fn(Shape::new(&[16]), |r| a.get(&[pos, r[0]]));
+            let want = standard::forward_to(&row);
+            assert!(got.max_abs_diff(&want) < 1e-9, "pos {pos}");
+        }
+        for pos in [0usize, 9, 15] {
+            let got = slice_at(&t, 1, pos);
+            let col = NdArray::from_fn(Shape::new(&[8]), |r| a.get(&[r[0], pos]));
+            let want = standard::forward_to(&col);
+            assert!(got.max_abs_diff(&want) < 1e-9, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn coarsen_matches_direct_averaging() {
+        let a = sample(&[8, 8]);
+        let t = standard::forward_to(&a);
+        let got = coarsen_axis(&t, 1);
+        let halved = NdArray::from_fn(Shape::new(&[8, 4]), |idx| {
+            (a.get(&[idx[0], 2 * idx[1]]) + a.get(&[idx[0], 2 * idx[1] + 1])) / 2.0
+        });
+        let want = standard::forward_to(&halved);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn repeated_coarsening_reaches_marginal_average() {
+        // Coarsening an axis all the way down equals project_avg.
+        let a = sample(&[4, 8]);
+        let mut t = standard::forward_to(&a);
+        t = coarsen_axis(&t, 0);
+        t = coarsen_axis(&t, 0);
+        // Now axis 0 has length 1; squeeze and compare.
+        let squeezed = NdArray::from_fn(Shape::new(&[8]), |r| t.get(&[0, r[0]]));
+        let want = project_avg(&standard::forward_to(&a), 0);
+        assert!(squeezed.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn chained_operators() {
+        // AVG over altitude then slice a single latitude: still exact.
+        let a = sample(&[4, 4, 8]);
+        let t = standard::forward_to(&a);
+        let no_alt = project_avg(&t, 1);
+        let lat2 = slice_at(&no_alt, 0, 2);
+        let direct = NdArray::from_fn(Shape::new(&[8]), |r| {
+            (0..4).map(|alt| a.get(&[2, alt, r[0]])).sum::<f64>() / 4.0
+        });
+        let want = standard::forward_to(&direct);
+        assert!(lat2.max_abs_diff(&want) < 1e-9);
+    }
+}

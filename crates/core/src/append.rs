@@ -1,0 +1,160 @@
+//! Domain expansion in the wavelet domain (Section 5.2).
+//!
+//! Appending past the current domain boundary requires the wavelet tree of
+//! the growing axis to gain a level — the domain doubles. Expansion is
+//! itself a SHIFT-SPLIT: every existing detail keeps its `(level, k)`
+//! coordinates but moves to a new linear index (SHIFT of the whole old tree,
+//! now the *left* subtree of the new root), while the old overall average
+//! splits into the new overall average plus the new root detail, both
+//! `u_old / 2` (the incoming right half is still all zeros, so
+//! `u_new = (u_old + 0)/2` and `w_new = (u_old − 0)/2`).
+//!
+//! These in-memory routines are the reference semantics; the disk-backed
+//! appender in `ss-transform` replays the same index mapping against tiled
+//! storage.
+
+use crate::layout::{Coeff1d, Layout1d};
+use ss_array::{MultiIndexIter, NdArray, Shape};
+
+/// Expands a 1-d transformed vector from `2^n` to `2^{n+1}`, the new right
+/// half implicitly zero.
+pub fn expand_1d(coeffs: &[f64]) -> Vec<f64> {
+    let n = Layout1d::for_len(coeffs.len()).levels();
+    let old = Layout1d::new(n);
+    let new = Layout1d::new(n + 1);
+    let mut out = vec![0.0f64; coeffs.len() * 2];
+    for (i, &v) in coeffs.iter().enumerate() {
+        match old.coeff_at(i) {
+            Coeff1d::Scaling => {
+                out[0] += v * 0.5;
+                out[new.index_of(Coeff1d::Detail { level: n + 1, k: 0 })] += v * 0.5;
+            }
+            detail @ Coeff1d::Detail { .. } => {
+                out[new.index_of(detail)] += v;
+            }
+        }
+    }
+    out
+}
+
+/// Maps an old per-axis coefficient index to its targets after expansion:
+/// a detail keeps `(level, k)` (one target, factor 1); the old average
+/// becomes the new average and the new top detail (two targets, factor ½).
+pub fn expand_index_1d(n: u32, index: usize) -> Vec<(usize, f64)> {
+    let old = Layout1d::new(n);
+    let new = Layout1d::new(n + 1);
+    match old.coeff_at(index) {
+        Coeff1d::Scaling => vec![
+            (0, 0.5),
+            (new.index_of(Coeff1d::Detail { level: n + 1, k: 0 }), 0.5),
+        ],
+        detail @ Coeff1d::Detail { .. } => vec![(new.index_of(detail), 1.0)],
+    }
+}
+
+/// Expands a standard-form transformed array by doubling `axis`; the new
+/// half of the domain is implicitly zero.
+pub fn expand_axis_standard(t: &NdArray<f64>, axis: usize) -> NdArray<f64> {
+    let shape = t.shape().clone();
+    let n = ss_array::log2_exact(shape.dim(axis));
+    let mut new_dims = shape.dims().to_vec();
+    new_dims[axis] *= 2;
+    let mut out = NdArray::<f64>::zeros(Shape::new(&new_dims));
+    let mut target = vec![0usize; shape.ndim()];
+    for idx in MultiIndexIter::new(shape.dims()) {
+        let v = t.get(&idx);
+        if v == 0.0 {
+            continue;
+        }
+        target.copy_from_slice(&idx);
+        for (new_i, factor) in expand_index_1d(n, idx[axis]) {
+            target[axis] = new_i;
+            let cur = out.get(&target);
+            out.set(&target, cur + v * factor);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar1d;
+
+    #[test]
+    fn expand_1d_matches_zero_padded_transform() {
+        let data: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).cos() * 4.0).collect();
+        let coeffs = haar1d::forward_to_vec(&data);
+        let expanded = expand_1d(&coeffs);
+        let mut padded = data.clone();
+        padded.extend(std::iter::repeat_n(0.0, 16));
+        let want = haar1d::forward_to_vec(&padded);
+        for i in 0..32 {
+            assert!((expanded[i] - want[i]).abs() < 1e-12, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn expand_then_fill_right_half_equals_direct() {
+        // Expand, then SHIFT-SPLIT the new right half in: the full append
+        // workflow of Section 5.2 on one axis.
+        let left: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
+        let right: Vec<f64> = (0..8).map(|i| 10.0 - i as f64).collect();
+        let mut coeffs = expand_1d(&haar1d::forward_to_vec(&left));
+        crate::split::apply_chunk_1d(&mut coeffs, &haar1d::forward_to_vec(&right), 1);
+        let mut full = left.clone();
+        full.extend(&right);
+        let want = haar1d::forward_to_vec(&full);
+        for i in 0..16 {
+            assert!((coeffs[i] - want[i]).abs() < 1e-12, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn repeated_expansion() {
+        let data = vec![5.0, 3.0];
+        let mut coeffs = haar1d::forward_to_vec(&data);
+        coeffs = expand_1d(&coeffs);
+        coeffs = expand_1d(&coeffs);
+        let mut padded = data;
+        padded.resize(8, 0.0);
+        let want = haar1d::forward_to_vec(&padded);
+        for i in 0..8 {
+            assert!((coeffs[i] - want[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expand_axis_standard_matches_zero_padded_transform() {
+        let a = NdArray::from_fn(Shape::new(&[4, 8]), |idx| {
+            (idx[0] * 8 + idx[1]) as f64 * 0.5 - 3.0
+        });
+        let t = crate::standard::forward_to(&a);
+        for axis in 0..2usize {
+            let expanded = expand_axis_standard(&t, axis);
+            let mut dims = [4usize, 8usize];
+            dims[axis] *= 2;
+            let mut padded = NdArray::<f64>::zeros(Shape::new(&dims));
+            padded.insert(&[0, 0], &a);
+            let want = crate::standard::forward_to(&padded);
+            assert!(
+                expanded.max_abs_diff(&want) < 1e-9,
+                "axis {axis}: diff {}",
+                expanded.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_preserves_reconstruction() {
+        let data: Vec<f64> = (0..8).map(|i| (i * i) as f64).collect();
+        let expanded = expand_1d(&haar1d::forward_to_vec(&data));
+        let back = haar1d::inverse_to_vec(&expanded);
+        for i in 0..8 {
+            assert!((back[i] - data[i]).abs() < 1e-9);
+        }
+        for i in 8..16 {
+            assert!(back[i].abs() < 1e-9, "right half must be zero");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The **non-standard form** of multidimensional Haar decomposition
+//! (Appendix B of the paper).
+//!
+//! One level of non-standard decomposition performs a *single* pairwise
+//! averaging/differencing step along every axis jointly, producing `2^d − 1`
+//! detail subbands and one average subband; only the average subband is
+//! decomposed further. Compared with the standard form it needs fewer
+//! arithmetic operations and — crucially for SHIFT-SPLIT — its coefficients
+//! form a single `2^d`-ary *quad tree* (Section 3.1), so a chunk's average
+//! splits along just one root path.
+//!
+//! # Layout
+//!
+//! We store coefficients in the Mallat layout: the subband-`ε` coefficient of
+//! level `j` at node `k ∈ [0, 2^{n−j})^d` lives at per-axis index
+//! `i_t = 2^{n−j} + k_t` when `ε_t = 1`, and `i_t = k_t` when `ε_t = 0`; the
+//! overall average lives at the origin. [`NsCoeff`] ↔ tuple-index conversion
+//! is provided by [`coeff_at`]/[`index_of`]. The non-standard form requires a
+//! hypercube domain (`N^d` with one shared `n`).
+
+use ss_array::{MultiIndexIter, NdArray, Shape};
+
+/// A coefficient of the non-standard decomposition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NsCoeff {
+    /// The single overall average, at the origin.
+    Scaling,
+    /// A detail coefficient.
+    Detail {
+        /// Level `1 ..= n` (coarsest is `n`).
+        level: u32,
+        /// Quad-tree node, one coordinate per axis, each `< 2^{n−level}`.
+        node: Vec<usize>,
+        /// Subband signature: `subband[t]` is `true` when axis `t` is
+        /// differenced. At least one entry must be `true`.
+        subband: Vec<bool>,
+    },
+}
+
+/// Validates that `shape` is a hypercube with power-of-two side; returns
+/// `(d, n)`.
+pub fn cube_levels(shape: &Shape) -> (usize, u32) {
+    let d = shape.ndim();
+    let side = shape.dim(0);
+    assert!(
+        shape.dims().iter().all(|&s| s == side),
+        "non-standard form requires a hypercube, got {shape:?}"
+    );
+    (d, ss_array::log2_exact(side))
+}
+
+/// In-place non-standard transform.
+///
+/// # Panics
+///
+/// Panics unless `a` is a hypercube with power-of-two side.
+pub fn forward(a: &mut NdArray<f64>) {
+    let shape = a.shape().clone();
+    let (d, n) = cube_levels(&shape);
+    // `width` is the side of the average subband still being decomposed.
+    let mut width = 1usize << n;
+    let mut scratch = NdArray::<f64>::zeros(shape.clone());
+    while width > 1 {
+        let half = width / 2;
+        // One joint step on the leading width^d corner.
+        for idx in MultiIndexIter::new(&vec![half; d]) {
+            // For each output cell (average + 2^d−1 details at this level)
+            // gather the 2^d input cells.
+            for eps in 0..(1usize << d) {
+                let mut acc = 0.0;
+                for corner in 0..(1usize << d) {
+                    let mut src = Vec::with_capacity(d);
+                    let mut sign = 1.0;
+                    for t in 0..d {
+                        let bit = (corner >> (d - 1 - t)) & 1;
+                        src.push(2 * idx[t] + bit);
+                        let e = (eps >> (d - 1 - t)) & 1;
+                        if e == 1 && bit == 1 {
+                            sign = -sign;
+                        }
+                    }
+                    acc += sign * a.get(&src);
+                }
+                acc /= (1usize << d) as f64;
+                // Destination: average subband at idx, detail subbands at
+                // idx + half·ε.
+                let mut dst = Vec::with_capacity(d);
+                for t in 0..d {
+                    let e = (eps >> (d - 1 - t)) & 1;
+                    dst.push(idx[t] + e * half);
+                }
+                scratch.set(&dst, acc);
+            }
+        }
+        // Copy the processed width^d corner back.
+        for idx in MultiIndexIter::new(&vec![width; d]) {
+            a.set(&idx, scratch.get(&idx));
+        }
+        width = half;
+    }
+}
+
+/// In-place inverse of [`forward`].
+pub fn inverse(a: &mut NdArray<f64>) {
+    let shape = a.shape().clone();
+    let (d, n) = cube_levels(&shape);
+    let mut width = 2usize;
+    let mut scratch = NdArray::<f64>::zeros(shape.clone());
+    while width <= (1usize << n) {
+        let half = width / 2;
+        for idx in MultiIndexIter::new(&vec![half; d]) {
+            // Reconstruct the 2^d data cells from the subband coefficients.
+            for corner in 0..(1usize << d) {
+                let mut acc = 0.0;
+                for eps in 0..(1usize << d) {
+                    let mut src = Vec::with_capacity(d);
+                    let mut sign = 1.0;
+                    for t in 0..d {
+                        let e = (eps >> (d - 1 - t)) & 1;
+                        src.push(idx[t] + e * half);
+                        let bit = (corner >> (d - 1 - t)) & 1;
+                        if e == 1 && bit == 1 {
+                            sign = -sign;
+                        }
+                    }
+                    acc += sign * a.get(&src);
+                }
+                let mut dst = Vec::with_capacity(d);
+                for t in 0..d {
+                    let bit = (corner >> (d - 1 - t)) & 1;
+                    dst.push(2 * idx[t] + bit);
+                }
+                scratch.set(&dst, acc);
+            }
+        }
+        for idx in MultiIndexIter::new(&vec![width; d]) {
+            a.set(&idx, scratch.get(&idx));
+        }
+        width *= 2;
+    }
+}
+
+/// Out-of-place [`forward`].
+pub fn forward_to(a: &NdArray<f64>) -> NdArray<f64> {
+    let mut out = a.clone();
+    forward(&mut out);
+    out
+}
+
+/// Out-of-place [`inverse`].
+pub fn inverse_to(a: &NdArray<f64>) -> NdArray<f64> {
+    let mut out = a.clone();
+    inverse(&mut out);
+    out
+}
+
+/// Tuple index of a non-standard coefficient in the Mallat layout.
+///
+/// # Panics
+///
+/// Panics for [`NsCoeff::Scaling`] — the scaling coefficient's index is
+/// `vec![0; d]`, which cannot be derived from the coefficient alone (it does
+/// not carry the dimensionality).
+pub fn index_of(n: u32, c: &NsCoeff) -> Vec<usize> {
+    match c {
+        NsCoeff::Scaling => {
+            panic!("index_of(Scaling) needs explicit dimensionality; use `vec![0; d]`")
+        }
+        NsCoeff::Detail {
+            level,
+            node,
+            subband,
+        } => {
+            debug_assert!(*level >= 1 && *level <= n);
+            debug_assert!(subband.iter().any(|&e| e), "empty subband");
+            let base = 1usize << (n - level);
+            node.iter()
+                .zip(subband)
+                .map(|(&k, &e)| {
+                    debug_assert!(k < base);
+                    if e {
+                        base + k
+                    } else {
+                        k
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Decodes a tuple index of a hypercube transform (`side 2^n`) back to the
+/// coefficient it addresses.
+pub fn coeff_at(n: u32, idx: &[usize]) -> NsCoeff {
+    if idx.iter().all(|&i| i == 0) {
+        return NsCoeff::Scaling;
+    }
+    let max = *idx.iter().max().unwrap();
+    let octave = usize::BITS - 1 - max.leading_zeros(); // floor(log2 max)
+    let level = n - octave;
+    let base = 1usize << octave;
+    let mut node = Vec::with_capacity(idx.len());
+    let mut subband = Vec::with_capacity(idx.len());
+    for &i in idx {
+        if i >= base {
+            node.push(i - base);
+            subband.push(true);
+        } else {
+            node.push(i);
+            subband.push(false);
+        }
+    }
+    debug_assert!(node.iter().all(|&k| k < base), "malformed index {idx:?}");
+    NsCoeff::Detail {
+        level,
+        node,
+        subband,
+    }
+}
+
+/// Orthonormal rescale factor for the non-standard coefficient at `idx` of a
+/// `d`-cube with side `2^n`: `2^{d·j/2}` for a level-`j` detail, `2^{d·n/2}`
+/// for the average.
+pub fn orthonormal_scale(n: u32, d: usize, idx: &[usize]) -> f64 {
+    let j = match coeff_at(n, idx) {
+        NsCoeff::Scaling => n,
+        NsCoeff::Detail { level, .. } => level,
+    };
+    (2.0f64).powf(d as f64 * j as f64 / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_array::Shape;
+
+    fn sample(shape: &Shape) -> NdArray<f64> {
+        let mut c = 0.0f64;
+        NdArray::from_fn(shape.clone(), |idx| {
+            c += 1.0;
+            (c * 1.37).sin() * 5.0 + idx[0] as f64
+        })
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let a = sample(&Shape::cube(2, 8));
+        let mut t = forward_to(&a);
+        inverse(&mut t);
+        assert!(a.max_abs_diff(&t) < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_3d_and_4d() {
+        for (d, n) in [(3usize, 8usize), (4, 4)] {
+            let a = sample(&Shape::cube(d, n));
+            let mut t = forward_to(&a);
+            inverse(&mut t);
+            assert!(a.max_abs_diff(&t) < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_matches_haar1d() {
+        let data = [3.0, 5.0, 7.0, 5.0, 1.0, 0.0, 2.0, 2.0];
+        let a = NdArray::from_vec(Shape::new(&[8]), data.to_vec());
+        let t = forward_to(&a);
+        assert_eq!(
+            t.as_slice(),
+            crate::haar1d::forward_to_vec(&data).as_slice()
+        );
+    }
+
+    #[test]
+    fn dc_coefficient_is_grand_mean() {
+        let a = sample(&Shape::cube(2, 16));
+        let t = forward_to(&a);
+        let mean = a.total() / a.len() as f64;
+        assert!((t.get(&[0, 0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_cube_transforms_to_single_average() {
+        let a = NdArray::from_fn(Shape::cube(3, 4), |_| 2.5);
+        let t = forward_to(&a);
+        assert!((t.get(&[0, 0, 0]) - 2.5).abs() < 1e-12);
+        let nonzero = t.as_slice().iter().filter(|&&c| c.abs() > 1e-12).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn index_of_coeff_at_roundtrip() {
+        let n = 3;
+        let shape = Shape::cube(2, 8);
+        for idx in ss_array::MultiIndexIter::new(shape.dims()) {
+            let c = coeff_at(n, &idx);
+            let back = match &c {
+                NsCoeff::Scaling => vec![0, 0],
+                _ => index_of(n, &c),
+            };
+            assert_eq!(back, idx, "coeff {c:?}");
+        }
+    }
+
+    #[test]
+    fn level_count_per_subband_matches_quadtree() {
+        // 8x8 (n=3, d=2): level j has (2^{n-j})^2 nodes × 3 subbands.
+        let n = 3u32;
+        let shape = Shape::cube(2, 8);
+        let mut per_level = std::collections::HashMap::new();
+        for idx in ss_array::MultiIndexIter::new(shape.dims()) {
+            if let NsCoeff::Detail { level, .. } = coeff_at(n, &idx) {
+                *per_level.entry(level).or_insert(0usize) += 1;
+            }
+        }
+        assert_eq!(per_level[&3], 3);
+        assert_eq!(per_level[&2], 3 * 4);
+        assert_eq!(per_level[&1], 3 * 16);
+    }
+
+    #[test]
+    fn nonstandard_differs_from_standard_in_2d() {
+        let a = sample(&Shape::cube(2, 8));
+        let ns = forward_to(&a);
+        let st = crate::standard::forward_to(&a);
+        assert!(
+            ns.max_abs_diff(&st) > 1e-9,
+            "forms should differ on generic input"
+        );
+    }
+
+    #[test]
+    fn orthonormal_scale_parseval() {
+        let a = sample(&Shape::cube(2, 8));
+        let t = forward_to(&a);
+        let mut energy = 0.0;
+        for idx in ss_array::MultiIndexIter::new(a.shape().dims()) {
+            let c = t.get(&idx) * orthonormal_scale(3, 2, &idx);
+            energy += c * c;
+        }
+        let want: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        assert!((energy - want).abs() < 1e-6, "{energy} vs {want}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_cube() {
+        let mut a = NdArray::<f64>::zeros(Shape::new(&[4, 8]));
+        forward(&mut a);
+    }
+}

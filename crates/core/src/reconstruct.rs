@@ -1,0 +1,402 @@
+//! Reconstruction in and from the wavelet domain (Sections 2.2 and 5.4).
+//!
+//! Two families of primitives live here:
+//!
+//! * **Contribution lists** — `(coefficient index, weight)` pairs whose
+//!   weighted sum yields a value in the original domain. They underlie point
+//!   queries (Lemma 1), range sums (Lemma 2) and the *inverse SPLIT*
+//!   (computing a dyadic block's average from the global transform). Using
+//!   lists instead of direct evaluation lets disk-backed callers account for
+//!   each coefficient access.
+//! * **Partial reconstruction** (Result 6) — assembling the transform of a
+//!   dyadic sub-range from the global transform via inverse SHIFT (detail
+//!   re-indexing) plus inverse SPLIT (block-average evaluation), then
+//!   running an in-memory inverse transform over just `M^d` values instead
+//!   of `N^d`.
+
+use crate::layout::Layout1d;
+use crate::nonstandard::NsCoeff;
+use ss_array::{DyadicRange, MultiIndexIter, NdArray, Shape};
+
+/// Contributions computing the *scaling coefficient* `u_{m, block}` — the
+/// average of the `(block+1)`-th dyadic range of length `2^m` — from the
+/// global 1-d transform. This is the inverse of SPLIT: one weight-1 entry
+/// for the overall average plus `n − m` signed path details.
+pub fn block_average_contributions_1d(n: u32, m: u32, block: usize) -> Vec<(usize, f64)> {
+    debug_assert!(m <= n);
+    debug_assert!(block < (1usize << (n - m)));
+    let layout = Layout1d::new(n);
+    let mut out = Vec::with_capacity((n - m) as usize + 1);
+    out.push((0usize, 1.0));
+    for j in (m + 1)..=n {
+        let shift = j - m;
+        let k = block >> shift;
+        let sign = if (block >> (shift - 1)) & 1 == 1 {
+            -1.0
+        } else {
+            1.0
+        };
+        out.push((
+            layout.index_of(crate::layout::Coeff1d::Detail { level: j, k }),
+            sign,
+        ));
+    }
+    out
+}
+
+/// Point-query contributions for the **standard** multidimensional form:
+/// the cross product of per-axis Lemma 1 lists; `Π(n_t + 1)` entries.
+pub fn standard_point_contributions(n: &[u32], pos: &[usize]) -> Vec<(Vec<usize>, f64)> {
+    cross_product(
+        &n.iter()
+            .zip(pos)
+            .map(|(&nt, &p)| Layout1d::new(nt).point_contributions(p))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Range-sum contributions for the **standard** form over the inclusive box
+/// `[lo, hi]`: cross product of per-axis Lemma 2 lists; at most
+/// `Π(2·n_t + 1)` entries.
+pub fn standard_range_sum_contributions(
+    n: &[u32],
+    lo: &[usize],
+    hi: &[usize],
+) -> Vec<(Vec<usize>, f64)> {
+    cross_product(
+        &n.iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(&nt, (&l, &h))| Layout1d::new(nt).range_sum_contributions(l, h))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Point-query contributions for the **non-standard** form on an `N^d`
+/// hypercube: the overall average plus, per level, the `2^d − 1` subband
+/// coefficients of the covering quad-tree node; `(2^d − 1)·n + 1` entries.
+pub fn nonstandard_point_contributions(n: u32, d: usize, pos: &[usize]) -> Vec<(Vec<usize>, f64)> {
+    debug_assert_eq!(pos.len(), d);
+    let mut out = Vec::with_capacity(((1usize << d) - 1) * n as usize + 1);
+    out.push((vec![0usize; d], 1.0));
+    for j in 1..=n {
+        let node: Vec<usize> = pos.iter().map(|&p| p >> j).collect();
+        for eps in 1usize..(1usize << d) {
+            let mut sign = 1.0;
+            let mut subband = Vec::with_capacity(d);
+            for (t, &p) in pos.iter().enumerate() {
+                let e = (eps >> (d - 1 - t)) & 1 == 1;
+                subband.push(e);
+                if e && (p >> (j - 1)) & 1 == 1 {
+                    sign = -sign;
+                }
+            }
+            let c = NsCoeff::Detail {
+                level: j,
+                node: node.clone(),
+                subband,
+            };
+            out.push((crate::nonstandard::index_of(n, &c), sign));
+        }
+    }
+    out
+}
+
+/// Contributions computing the average of a cubic dyadic block (side `2^m`,
+/// per-axis translation `block`) from a **non-standard** transform: the
+/// inverse SPLIT for the non-standard form.
+pub fn nonstandard_block_average_contributions(
+    n: u32,
+    m: u32,
+    block: &[usize],
+) -> Vec<(Vec<usize>, f64)> {
+    let d = block.len();
+    let mut out = Vec::with_capacity(((1usize << d) - 1) * (n - m) as usize + 1);
+    out.push((vec![0usize; d], 1.0));
+    for j in (m + 1)..=n {
+        let shift = j - m;
+        let node: Vec<usize> = block.iter().map(|&b| b >> shift).collect();
+        for eps in 1usize..(1usize << d) {
+            let mut sign = 1.0;
+            let mut subband = Vec::with_capacity(d);
+            for (t, &b) in block.iter().enumerate() {
+                let e = (eps >> (d - 1 - t)) & 1 == 1;
+                subband.push(e);
+                if e && (b >> (shift - 1)) & 1 == 1 {
+                    sign = -sign;
+                }
+            }
+            let c = NsCoeff::Detail {
+                level: j,
+                node: node.clone(),
+                subband,
+            };
+            out.push((crate::nonstandard::index_of(n, &c), sign));
+        }
+    }
+    out
+}
+
+/// Assembles the **standard-form transform of a dyadic sub-range** from a
+/// global coefficient accessor, without touching coefficients outside the
+/// `(M_t + (n_t − m_t))`-per-axis envelope (Result 6).
+///
+/// `get` is called once per required global coefficient with its tuple
+/// index; the per-axis mixed SHIFT⁻¹/SPLIT⁻¹ cross product mirrors
+/// [`crate::split::standard_deltas`].
+pub fn standard_range_transform(
+    n: &[u32],
+    range: &DyadicRange,
+    mut get: impl FnMut(&[usize]) -> f64,
+) -> NdArray<f64> {
+    let d = range.ndim();
+    assert_eq!(n.len(), d);
+    let m: Vec<u32> = range.axes.iter().map(|a| a.level).collect();
+    let block: Vec<usize> = range.axes.iter().map(|a| a.translation).collect();
+    let shape = Shape::new(&range.extents());
+    let mut out = NdArray::<f64>::zeros(shape.clone());
+    for local in MultiIndexIter::new(shape.dims()) {
+        // Per-axis source lists: detail -> single shifted index; average ->
+        // block-average contributions along that axis.
+        let per_axis: Vec<Vec<(usize, f64)>> = (0..d)
+            .map(|t| {
+                if local[t] == 0 {
+                    block_average_contributions_1d(n[t], m[t], block[t])
+                } else {
+                    vec![(
+                        crate::shift::shift_index_1d(n[t], m[t], block[t], local[t]),
+                        1.0,
+                    )]
+                }
+            })
+            .collect();
+        let mut acc = 0.0;
+        let counts: Vec<usize> = per_axis.iter().map(|v| v.len()).collect();
+        let mut idx = vec![0usize; d];
+        for choice in MultiIndexIter::new(&counts) {
+            let mut w = 1.0;
+            for (t, &c) in choice.iter().enumerate() {
+                let (i, f) = per_axis[t][c];
+                idx[t] = i;
+                w *= f;
+            }
+            acc += w * get(&idx);
+        }
+        out.set(&local, acc);
+    }
+    out
+}
+
+/// Reconstructs the **data** of a dyadic sub-range from a standard-form
+/// global transform (assemble via [`standard_range_transform`], then invert
+/// in memory).
+pub fn standard_reconstruct_range(
+    n: &[u32],
+    range: &DyadicRange,
+    get: impl FnMut(&[usize]) -> f64,
+) -> NdArray<f64> {
+    let mut t = standard_range_transform(n, range, get);
+    crate::standard::inverse(&mut t);
+    t
+}
+
+/// Assembles the **non-standard transform of a cubic dyadic sub-range** from
+/// a global coefficient accessor: details by inverse SHIFT, the block
+/// average by inverse SPLIT.
+pub fn nonstandard_range_transform(
+    n: u32,
+    range: &DyadicRange,
+    mut get: impl FnMut(&[usize]) -> f64,
+) -> NdArray<f64> {
+    assert!(range.is_cubic(), "non-standard form needs cubic ranges");
+    let d = range.ndim();
+    let m = range.axes[0].level;
+    let block: Vec<usize> = range.axes.iter().map(|a| a.translation).collect();
+    let shape = Shape::cube(d, 1usize << m);
+    let mut out = NdArray::<f64>::zeros(shape.clone());
+    for local in MultiIndexIter::new(shape.dims()) {
+        if local.iter().all(|&i| i == 0) {
+            continue;
+        }
+        let g = crate::shift::shift_index_nonstandard(n, m, &block, &local);
+        out.set(&local, get(&g));
+    }
+    let avg: f64 = nonstandard_block_average_contributions(n, m, &block)
+        .iter()
+        .map(|(idx, w)| w * get(idx))
+        .sum();
+    out.set(&vec![0usize; d], avg);
+    out
+}
+
+/// Reconstructs the **data** of a cubic dyadic sub-range from a
+/// non-standard global transform.
+pub fn nonstandard_reconstruct_range(
+    n: u32,
+    range: &DyadicRange,
+    get: impl FnMut(&[usize]) -> f64,
+) -> NdArray<f64> {
+    let mut t = nonstandard_range_transform(n, range, get);
+    crate::nonstandard::inverse(&mut t);
+    t
+}
+
+fn cross_product(per_axis: &[Vec<(usize, f64)>]) -> Vec<(Vec<usize>, f64)> {
+    let counts: Vec<usize> = per_axis.iter().map(|v| v.len()).collect();
+    let mut out = Vec::with_capacity(counts.iter().product());
+    for choice in MultiIndexIter::new(&counts) {
+        let mut idx = Vec::with_capacity(per_axis.len());
+        let mut w = 1.0;
+        for (t, &c) in choice.iter().enumerate() {
+            let (i, f) = per_axis[t][c];
+            idx.push(i);
+            w *= f;
+        }
+        out.push((idx, w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_array::DyadicInterval;
+
+    fn sample_2d(side: usize) -> NdArray<f64> {
+        NdArray::from_fn(Shape::cube(2, side), |idx| {
+            ((idx[0] * 29 + idx[1] * 13) % 17) as f64 - 5.0
+        })
+    }
+
+    #[test]
+    fn block_average_contributions_match_direct_average() {
+        let data: Vec<f64> = (0..32).map(|i| ((i * 11) % 7) as f64 + 0.5).collect();
+        let coeffs = crate::haar1d::forward_to_vec(&data);
+        for m in 0..=5u32 {
+            for block in 0..(32 >> m) {
+                let want: f64 =
+                    data[block << m..(block + 1) << m].iter().sum::<f64>() / (1usize << m) as f64;
+                let got: f64 = block_average_contributions_1d(5, m, block)
+                    .iter()
+                    .map(|&(i, w)| w * coeffs[i])
+                    .sum();
+                assert!((got - want).abs() < 1e-9, "m={m} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn standard_point_contributions_reconstruct() {
+        let a = sample_2d(8);
+        let t = crate::standard::forward_to(&a);
+        for idx in MultiIndexIter::new(&[8, 8]) {
+            let contribs = standard_point_contributions(&[3, 3], &idx);
+            assert_eq!(contribs.len(), 16, "Lemma 1 squared");
+            let got: f64 = contribs.iter().map(|(i, w)| w * t.get(i)).sum();
+            assert!((got - a.get(&idx)).abs() < 1e-9, "{idx:?}");
+        }
+    }
+
+    #[test]
+    fn standard_range_sum_contributions_match_naive() {
+        let a = sample_2d(8);
+        let t = crate::standard::forward_to(&a);
+        for lo0 in [0usize, 3] {
+            for hi0 in [lo0, 6] {
+                for lo1 in [1usize, 4] {
+                    for hi1 in [lo1, 7] {
+                        let want = a.region_sum(&[lo0, lo1], &[hi0, hi1]);
+                        let got: f64 =
+                            standard_range_sum_contributions(&[3, 3], &[lo0, lo1], &[hi0, hi1])
+                                .iter()
+                                .map(|(i, w)| w * t.get(i))
+                                .sum();
+                        assert!(
+                            (got - want).abs() < 1e-9,
+                            "[{lo0},{hi0}]x[{lo1},{hi1}]: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonstandard_point_contributions_reconstruct() {
+        let a = sample_2d(8);
+        let t = crate::nonstandard::forward_to(&a);
+        for idx in MultiIndexIter::new(&[8, 8]) {
+            let contribs = nonstandard_point_contributions(3, 2, &idx);
+            assert_eq!(contribs.len(), 3 * 3 + 1, "(2^d−1)·n + 1");
+            let got: f64 = contribs.iter().map(|(i, w)| w * t.get(i)).sum();
+            assert!((got - a.get(&idx)).abs() < 1e-9, "{idx:?}");
+        }
+    }
+
+    #[test]
+    fn standard_partial_reconstruction_equals_slice() {
+        let a = sample_2d(16);
+        let t = crate::standard::forward_to(&a);
+        for (l0, l1) in [(0u32, 1u32), (2, 2), (1, 3)] {
+            for b0 in 0..(16 >> l0).min(3) {
+                for b1 in 0..(16 >> l1).min(3) {
+                    let range = DyadicRange::new(vec![
+                        DyadicInterval::new(l0, b0),
+                        DyadicInterval::new(l1, b1),
+                    ]);
+                    let got = standard_reconstruct_range(&[4, 4], &range, |idx| t.get(idx));
+                    let want = a.extract(&range.origin(), &range.extents());
+                    assert!(
+                        got.max_abs_diff(&want) < 1e-9,
+                        "range {range:?}: diff {}",
+                        got.max_abs_diff(&want)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standard_partial_reconstruction_full_domain() {
+        let a = sample_2d(8);
+        let t = crate::standard::forward_to(&a);
+        let range = DyadicRange::cube(3, &[0, 0]);
+        let got = standard_reconstruct_range(&[3, 3], &range, |idx| t.get(idx));
+        assert!(got.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn nonstandard_partial_reconstruction_equals_slice() {
+        let a = sample_2d(16);
+        let t = crate::nonstandard::forward_to(&a);
+        for m in 0..=3u32 {
+            for b0 in 0..(16usize >> m).min(3) {
+                for b1 in 0..(16usize >> m).min(3) {
+                    let range = DyadicRange::cube(m, &[b0, b1]);
+                    let got = nonstandard_reconstruct_range(4, &range, |idx| t.get(idx));
+                    let want = a.extract(&range.origin(), &range.extents());
+                    assert!(
+                        got.max_abs_diff(&want) < 1e-9,
+                        "m={m} block=({b0},{b1}): diff {}",
+                        got.max_abs_diff(&want)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_transform_access_count_is_result_6() {
+        // Standard form: (M + (n−m))^d accesses for an M^d cube.
+        let a = sample_2d(16);
+        let t = crate::standard::forward_to(&a);
+        let range = DyadicRange::cube(2, &[1, 2]); // M=4, n=4, m=2
+        let mut accesses = 0usize;
+        let _ = standard_range_transform(&[4, 4], &range, |idx| {
+            accesses += 1;
+            t.get(idx)
+        });
+        // Entries with both axes detail: (M−1)^2 single-access; mixed rows
+        // cost (n−m+1) each. Total = (M−1 + n−m+1)^2 = (M + n−m)^2.
+        assert_eq!(accesses, (4 + 2usize).pow(2));
+    }
+}

@@ -1,0 +1,195 @@
+//! The **standard form** of multidimensional Haar decomposition
+//! (Appendix B of the paper).
+//!
+//! The standard form applies a complete 1-d transform along each axis in
+//! turn; the result is the tensor product of 1-d bases, so a coefficient is
+//! addressed by a tuple of independent 1-d indices — one per axis, each
+//! interpreted through that axis's [`Layout1d`](crate::layout::Layout1d).
+//! Axes may have different (power-of-two) sizes.
+//!
+//! This is the form used by Vitter et al. for OLAP range aggregates: range
+//! sums compress extremely well because per-axis contribution lists multiply
+//! (Section 3.1 of the paper).
+
+use ss_array::{MultiIndexIter, NdArray, Shape};
+
+/// In-place standard-form transform of every axis of `a`.
+///
+/// # Panics
+///
+/// Panics when any axis size is not a power of two.
+pub fn forward(a: &mut NdArray<f64>) {
+    transform_axes(a, haar_axis_forward);
+}
+
+/// In-place inverse of [`forward`].
+pub fn inverse(a: &mut NdArray<f64>) {
+    transform_axes(a, haar_axis_inverse);
+}
+
+/// Out-of-place [`forward`].
+pub fn forward_to(a: &NdArray<f64>) -> NdArray<f64> {
+    let mut out = a.clone();
+    forward(&mut out);
+    out
+}
+
+/// Out-of-place [`inverse`].
+pub fn inverse_to(a: &NdArray<f64>) -> NdArray<f64> {
+    let mut out = a.clone();
+    inverse(&mut out);
+    out
+}
+
+fn transform_axes(a: &mut NdArray<f64>, line_op: fn(&mut [f64], usize, usize)) {
+    let shape = a.shape().clone();
+    assert!(
+        shape.is_dyadic(),
+        "standard form requires power-of-two axes, got {shape:?}"
+    );
+    for axis in 0..shape.ndim() {
+        apply_along_axis(a, &shape, axis, line_op);
+    }
+}
+
+/// Applies `line_op(buffer, stride, len)` to every 1-d line of `a` along
+/// `axis`. Lines are processed strided, in place.
+fn apply_along_axis(
+    a: &mut NdArray<f64>,
+    shape: &Shape,
+    axis: usize,
+    line_op: fn(&mut [f64], usize, usize),
+) {
+    let len = shape.dim(axis);
+    if len == 1 {
+        return;
+    }
+    let stride = shape.strides()[axis];
+    // Iterate over all index tuples with `axis` fixed at zero.
+    let mut outer_dims: Vec<usize> = shape.dims().to_vec();
+    outer_dims[axis] = 1;
+    let data = a.as_mut_slice();
+    for idx in MultiIndexIter::new(&outer_dims) {
+        let base = shape.offset(&idx);
+        line_op(&mut data[base..], stride, len);
+    }
+}
+
+/// Strided 1-d forward Haar (paper convention) on `data[0], data[stride],
+/// …, data[(len−1)·stride]`.
+fn haar_axis_forward(data: &mut [f64], stride: usize, len: usize) {
+    let mut buf = vec![0.0f64; len];
+    for (i, slot) in buf.iter_mut().enumerate() {
+        *slot = data[i * stride];
+    }
+    crate::haar1d::forward(&mut buf);
+    for (i, &v) in buf.iter().enumerate() {
+        data[i * stride] = v;
+    }
+}
+
+fn haar_axis_inverse(data: &mut [f64], stride: usize, len: usize) {
+    let mut buf = vec![0.0f64; len];
+    for (i, slot) in buf.iter_mut().enumerate() {
+        *slot = data[i * stride];
+    }
+    crate::haar1d::inverse(&mut buf);
+    for (i, &v) in buf.iter().enumerate() {
+        data[i * stride] = v;
+    }
+}
+
+/// Orthonormal rescale factor of the standard-form coefficient at tuple
+/// index `idx` (product of per-axis 1-d factors).
+pub fn orthonormal_scale(shape: &Shape, idx: &[usize]) -> f64 {
+    idx.iter()
+        .enumerate()
+        .map(|(axis, &i)| crate::layout::Layout1d::for_len(shape.dim(axis)).orthonormal_scale(i))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_array::Shape;
+
+    fn sample(shape: &Shape) -> NdArray<f64> {
+        let mut c = 0.0;
+        NdArray::from_fn(shape.clone(), |idx| {
+            c += 1.0;
+            c + idx.iter().sum::<usize>() as f64 * 0.25
+        })
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let a = sample(&Shape::new(&[8, 8]));
+        let mut t = forward_to(&a);
+        inverse(&mut t);
+        assert!(a.max_abs_diff(&t) < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_rectangular() {
+        let a = sample(&Shape::new(&[4, 16, 2]));
+        let mut t = forward_to(&a);
+        inverse(&mut t);
+        assert!(a.max_abs_diff(&t) < 1e-9);
+    }
+
+    #[test]
+    fn dc_coefficient_is_grand_mean() {
+        let a = sample(&Shape::new(&[4, 8]));
+        let t = forward_to(&a);
+        let mean = a.total() / a.len() as f64;
+        assert!((t.get(&[0, 0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separable_signal_has_separable_transform() {
+        // a[i,j] = f(i)·g(j) implies t = DWT(f) ⊗ DWT(g).
+        let f = [3.0, 5.0, 7.0, 5.0];
+        let g = [1.0, 2.0, 0.0, -1.0];
+        let a = NdArray::from_fn(Shape::new(&[4, 4]), |idx| f[idx[0]] * g[idx[1]]);
+        let t = forward_to(&a);
+        let tf = crate::haar1d::forward_to_vec(&f);
+        let tg = crate::haar1d::forward_to_vec(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((t.get(&[i, j]) - tf[i] * tg[j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_axis_transforms_1d_case() {
+        let data = [3.0, 5.0, 7.0, 5.0];
+        let a = NdArray::from_vec(Shape::new(&[4]), data.to_vec());
+        let t = forward_to(&a);
+        assert_eq!(
+            t.as_slice(),
+            crate::haar1d::forward_to_vec(&data).as_slice()
+        );
+    }
+
+    #[test]
+    fn orthonormal_scale_parseval_2d() {
+        let a = sample(&Shape::new(&[4, 4]));
+        let t = forward_to(&a);
+        let mut energy = 0.0;
+        for idx in ss_array::MultiIndexIter::new(a.shape().dims()) {
+            let s = orthonormal_scale(a.shape(), &idx);
+            let c = t.get(&idx) * s;
+            energy += c * c;
+        }
+        let want: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        assert!((energy - want).abs() < 1e-6, "{energy} vs {want}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_dyadic_shape() {
+        let mut a = NdArray::<f64>::zeros(Shape::new(&[4, 6]));
+        forward(&mut a);
+    }
+}

@@ -1,0 +1,119 @@
+//! PRECIPITATION-like 3-d rainfall cube and its monthly append feed.
+
+use crate::SplitMix64;
+use ss_array::{NdArray, Shape};
+
+/// One month of daily precipitation on a `lat × lon` grid, shaped
+/// `[nlat, nlon, ndays]` — the unit of appending in the paper's Section 6.2
+/// experiment (`8 × 8 × 32` there).
+///
+/// Rain is non-negative and bursty: wet spells arrive as spatially coherent
+/// fronts with exponential-ish intensity, dry days are exactly zero —
+/// matching the character of daily Pacific-Northwest rainfall.
+pub fn precipitation_month(
+    nlat: usize,
+    nlon: usize,
+    ndays: usize,
+    month: usize,
+    seed: u64,
+) -> NdArray<f64> {
+    let mut rng = SplitMix64::new(seed ^ (month as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+    // Winter months are wetter in the PNW; month 0 = January.
+    let season = month % 12;
+    let wet_prob = match season {
+        10 | 11 | 0 | 1 | 2 => 0.65, // Nov–Mar
+        3 | 4 | 9 => 0.45,
+        _ => 0.2,
+    };
+    // Pre-draw a per-day front: wet/dry, centre and extent.
+    let mut fronts = Vec::with_capacity(ndays);
+    for _ in 0..ndays {
+        let wet = rng.next_f64() < wet_prob;
+        let centre = (rng.range(0.0, nlat as f64), rng.range(0.0, nlon as f64));
+        let radius = rng.range(2.0, (nlat + nlon) as f64 / 2.0);
+        let intensity = -rng.next_f64().max(1e-12).ln() * 12.0; // exp(12mm)
+        fronts.push((wet, centre, radius, intensity));
+    }
+    NdArray::from_fn(Shape::new(&[nlat, nlon, ndays]), |idx| {
+        let (wet, (clat, clon), radius, intensity) = fronts[idx[2]];
+        if !wet {
+            return 0.0;
+        }
+        let dist = ((idx[0] as f64 - clat).powi(2) + (idx[1] as f64 - clon).powi(2)).sqrt();
+        if dist > radius {
+            return 0.0;
+        }
+        let falloff = 1.0 - dist / radius;
+        let mut cell = SplitMix64::new(
+            seed ^ ((month * 31 + idx[2]) as u64) << 20 ^ ((idx[0] * 64 + idx[1]) as u64),
+        );
+        (intensity * falloff * (0.6 + 0.8 * cell.next_f64())).max(0.0)
+    })
+}
+
+/// A full multi-month precipitation cube `[nlat, nlon, months · days]`,
+/// concatenating [`precipitation_month`] along the time axis. Used when an
+/// experiment needs the whole history at once (e.g. validating appends
+/// against a from-scratch transform).
+pub fn precipitation_cube(
+    nlat: usize,
+    nlon: usize,
+    days_per_month: usize,
+    months: usize,
+    seed: u64,
+) -> NdArray<f64> {
+    let mut out = NdArray::<f64>::zeros(Shape::new(&[nlat, nlon, days_per_month * months]));
+    for m in 0..months {
+        let chunk = precipitation_month(nlat, nlon, days_per_month, m, seed);
+        out.insert(&[0, 0, m * days_per_month], &chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_negative_and_bursty() {
+        let m = precipitation_month(8, 8, 32, 0, 11);
+        let zeros = m.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(m.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(zeros > 0, "some dry cells expected");
+        assert!(zeros < m.len(), "some rain expected in January");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = precipitation_month(8, 8, 32, 5, 3);
+        let b = precipitation_month(8, 8, 32, 5, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn months_differ() {
+        let a = precipitation_month(8, 8, 32, 0, 3);
+        let b = precipitation_month(8, 8, 32, 1, 3);
+        assert!(a.max_abs_diff(&b) > 1e-9);
+    }
+
+    #[test]
+    fn winter_wetter_than_summer() {
+        let jan: f64 = (0..4)
+            .map(|y| precipitation_month(8, 8, 32, y * 12, 7).total())
+            .sum();
+        let jul: f64 = (0..4)
+            .map(|y| precipitation_month(8, 8, 32, y * 12 + 6, 7).total())
+            .sum();
+        assert!(jan > jul, "january {jan} vs july {jul}");
+    }
+
+    #[test]
+    fn cube_concatenates_months() {
+        let cube = precipitation_cube(4, 4, 8, 3, 9);
+        assert_eq!(cube.shape().dims(), &[4, 4, 24]);
+        let m1 = precipitation_month(4, 4, 8, 1, 9);
+        let slice = cube.extract(&[0, 0, 8], &[4, 4, 8]);
+        assert_eq!(slice, m1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sparse and skewed cubes for the sparse-data variants of the transform
+//! experiments (Section 5.1 discusses `z` non-zero values).
+
+use crate::SplitMix64;
+use ss_array::{NdArray, Shape};
+
+/// A `dims` cube with exactly `nonzeros` uniformly placed non-zero cells
+/// (values uniform in `[1, 100)`).
+///
+/// # Panics
+///
+/// Panics when `nonzeros` exceeds the cube size.
+pub fn sparse_cube(dims: &[usize], nonzeros: usize, seed: u64) -> NdArray<f64> {
+    let shape = Shape::new(dims);
+    assert!(nonzeros <= shape.len(), "more non-zeros than cells");
+    let mut out = NdArray::<f64>::zeros(shape.clone());
+    let mut rng = SplitMix64::new(seed);
+    let mut placed = 0usize;
+    let data = out.as_mut_slice();
+    while placed < nonzeros {
+        let off = rng.below(data.len());
+        if data[off] == 0.0 {
+            data[off] = rng.range(1.0, 100.0);
+            placed += 1;
+        }
+    }
+    out
+}
+
+/// A cube whose cell magnitudes follow a Zipf-like distribution over a set
+/// of random "hot spots": a few huge values, a long tail of small ones —
+/// the OLAP-measure skew that makes wavelet synopses attractive.
+pub fn zipf_cube(dims: &[usize], skew: f64, seed: u64) -> NdArray<f64> {
+    assert!(skew > 0.0);
+    let shape = Shape::new(dims);
+    let mut rng = SplitMix64::new(seed);
+    let mut out = NdArray::<f64>::zeros(shape.clone());
+    let len = out.len();
+    let data = out.as_mut_slice();
+    for (rank, v) in data.iter_mut().enumerate() {
+        // Zipf by cell rank after a pseudo-random shuffle via hashing.
+        let shuffled = SplitMix64::new(seed ^ rank as u64).next_u64() as usize % len;
+        *v = 1000.0 / ((shuffled + 1) as f64).powf(skew) * (0.5 + rng.next_f64());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_cube_has_exact_density() {
+        let a = sparse_cube(&[16, 16], 37, 5);
+        let nz = a.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nz, 37);
+    }
+
+    #[test]
+    fn sparse_cube_deterministic() {
+        assert_eq!(sparse_cube(&[8, 8], 10, 3), sparse_cube(&[8, 8], 10, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sparse_cube_rejects_overfull() {
+        sparse_cube(&[2, 2], 5, 0);
+    }
+
+    #[test]
+    fn zipf_cube_is_skewed() {
+        let a = zipf_cube(&[32, 32], 1.1, 7);
+        let mut v: Vec<f64> = a.as_slice().to_vec();
+        v.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        let total: f64 = v.iter().sum();
+        let top: f64 = v.iter().take(v.len() / 10).sum();
+        assert!(top / total > 0.5, "top decile holds {}", top / total);
+    }
+}

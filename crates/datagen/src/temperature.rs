@@ -1,0 +1,108 @@
+//! TEMPERATURE-like 4-d climate cube.
+
+use crate::SplitMix64;
+use ss_array::{NdArray, Shape};
+
+/// Generates a smooth 4-d temperature field over
+/// `latitude × longitude × altitude × time`, qualitatively matching the
+/// paper's JPL TEMPERATURE dataset: a latitudinal gradient, a longitudinal
+/// continental pattern, an altitude lapse rate, seasonal and diurnal cycles,
+/// and small measurement noise.
+///
+/// Any shape works; the canonical experiment shapes are cubes or
+/// `[lat, lon, alt, time]` with power-of-two extents.
+pub fn temperature_cube(dims: &[usize], seed: u64) -> NdArray<f64> {
+    assert_eq!(dims.len(), 4, "temperature_cube is 4-dimensional");
+    let mut rng = SplitMix64::new(seed);
+    // A couple of random phases so different seeds give different planets.
+    let phase_lon = rng.range(0.0, std::f64::consts::TAU);
+    let phase_season = rng.range(0.0, std::f64::consts::TAU);
+    let noise_amp = 0.4;
+    let (nlat, nlon, nalt, ntime) = (dims[0], dims[1], dims[2], dims[3]);
+    NdArray::from_fn(Shape::new(dims), |idx| {
+        let lat = idx[0] as f64 / nlat.max(1) as f64; // 0 = south pole
+        let lon = idx[1] as f64 / nlon.max(1) as f64;
+        let alt = idx[2] as f64 / nalt.max(1) as f64;
+        let t = idx[3] as f64 / ntime.max(1) as f64;
+        // Mean surface temperature by latitude: warm equator, cold poles.
+        let lat_term = 30.0 * (std::f64::consts::PI * lat).sin() - 10.0;
+        // Continents vs oceans along longitude.
+        let lon_term = 6.0 * (std::f64::consts::TAU * 2.0 * lon + phase_lon).cos();
+        // Lapse rate: ~6.5 K per km, altitude axis spans ~10 km.
+        let alt_term = -65.0 * alt;
+        // Seasonal cycle (one year across the time axis) + diurnal ripple.
+        let season =
+            8.0 * (std::f64::consts::TAU * t + phase_season).sin() * (2.0 * lat - 1.0).signum();
+        let diurnal = 1.5 * (std::f64::consts::TAU * 365.0 * t).sin();
+        let mut local = SplitMix64::new(
+            seed ^ (idx[0] as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(idx[1] as u64)
+                .wrapping_mul(0xBF58476D1CE4E5B9)
+                .wrapping_add((idx[2] as u64) << 32)
+                .wrapping_add(idx[3] as u64),
+        );
+        lat_term + lon_term + alt_term + season + diurnal + noise_amp * (local.next_f64() - 0.5)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = temperature_cube(&[4, 4, 2, 8], 9);
+        let b = temperature_cube(&[4, 4, 2, 8], 9);
+        assert_eq!(a, b);
+        let c = temperature_cube(&[4, 4, 2, 8], 10);
+        assert!(a.max_abs_diff(&c) > 1e-9);
+    }
+
+    #[test]
+    fn values_are_plausible_temperatures() {
+        let a = temperature_cube(&[8, 8, 4, 16], 1);
+        for &v in a.as_slice() {
+            assert!((-120.0..=60.0).contains(&v), "implausible temperature {v}");
+        }
+    }
+
+    #[test]
+    fn altitude_cools() {
+        let a = temperature_cube(&[8, 8, 8, 4], 3);
+        // Column means should decrease with altitude.
+        let mean_at = |alt: usize| {
+            let mut s = 0.0;
+            let mut c = 0;
+            for lat in 0..8 {
+                for lon in 0..8 {
+                    for t in 0..4 {
+                        s += a.get(&[lat, lon, alt, t]);
+                        c += 1;
+                    }
+                }
+            }
+            s / c as f64
+        };
+        assert!(mean_at(0) > mean_at(7));
+    }
+
+    #[test]
+    fn field_is_compressible() {
+        // A smooth field must concentrate energy in few wavelet terms:
+        // top 5% of orthonormal coefficients should hold >90% of energy.
+        let a = temperature_cube(&[8, 8, 4, 8], 5);
+        let t = ss_core::standard::forward_to(&a);
+        let shape = a.shape().clone();
+        let mut mags: Vec<f64> = ss_array::MultiIndexIter::new(shape.dims())
+            .map(|idx| {
+                let s = ss_core::standard::orthonormal_scale(&shape, &idx);
+                (t.get(&idx) * s).powi(2)
+            })
+            .collect();
+        let total: f64 = mags.iter().sum();
+        mags.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        let top: f64 = mags.iter().take(mags.len() / 20).sum();
+        assert!(top / total > 0.9, "energy ratio {}", top / total);
+    }
+}

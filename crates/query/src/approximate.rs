@@ -1,0 +1,382 @@
+//! Approximate and progressive query answering from wavelet synopses —
+//! the OLAP use-case the paper's introduction motivates (approximate,
+//! progressive, or fast exact answers to range aggregates).
+//!
+//! A [`StoredSynopsis`] keeps the K standard-form coefficients of largest
+//! orthonormal magnitude (plus the overall average) as a sparse map;
+//! queries evaluate the usual contribution lists against it, touching only
+//! retained coefficients. [`progressive_range_sum`] answers from an exact
+//! store coarse-to-fine, yielding a refining estimate after every
+//! decomposition level — usable as-is for online aggregation.
+
+use ss_core::reconstruct;
+use ss_core::TilingMap;
+use ss_storage::{BlockStore, CoeffStore};
+use std::collections::HashMap;
+
+/// A sparse K-term synopsis of a standard-form transform.
+#[derive(Clone, Debug)]
+pub struct StoredSynopsis {
+    n: Vec<u32>,
+    coeffs: HashMap<Vec<usize>, f64>,
+    retained: usize,
+}
+
+impl StoredSynopsis {
+    /// Builds a synopsis keeping the `k` largest-magnitude coefficients of
+    /// the transform held in `cs` (the overall average is always kept and
+    /// does not count against `k`).
+    pub fn build<M: TilingMap, S: BlockStore>(
+        cs: &mut CoeffStore<M, S>,
+        n: &[u32],
+        k: usize,
+    ) -> Self {
+        let dims: Vec<usize> = n.iter().map(|&nt| 1usize << nt).collect();
+        let shape = ss_array::Shape::new(&dims);
+        let mut ranked: Vec<(f64, Vec<usize>, f64)> = Vec::new();
+        let origin = vec![0usize; n.len()];
+        let mut average = 0.0;
+        for idx in ss_array::MultiIndexIter::new(&dims) {
+            let v = cs.read(&idx);
+            if idx == origin {
+                average = v;
+                continue;
+            }
+            if v != 0.0 {
+                let mag = v.abs() * ss_core::standard::orthonormal_scale(&shape, &idx);
+                ranked.push((mag, idx, v));
+            }
+        }
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        ranked.truncate(k);
+        let mut coeffs: HashMap<Vec<usize>, f64> =
+            ranked.into_iter().map(|(_, idx, v)| (idx, v)).collect();
+        let retained = coeffs.len();
+        coeffs.insert(origin, average);
+        StoredSynopsis {
+            n: n.to_vec(),
+            coeffs,
+            retained,
+        }
+    }
+
+    /// Number of retained detail coefficients (≤ the requested `k`).
+    pub fn retained(&self) -> usize {
+        self.retained
+    }
+
+    /// Per-axis domain levels.
+    pub fn levels(&self) -> &[u32] {
+        &self.n
+    }
+
+    /// Coefficient lookup (0 for dropped coefficients).
+    #[inline]
+    fn get(&self, idx: &[usize]) -> f64 {
+        self.coeffs.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Serialises the synopsis to a compact little-endian byte format
+    /// (`SSYN` magic, version, per-axis levels, then
+    /// `(index tuple, value)` records) — small enough to ship to a client
+    /// that answers approximate queries locally.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let d = self.n.len();
+        let mut out = Vec::with_capacity(16 + self.coeffs.len() * (d + 1) * 8);
+        out.extend_from_slice(b"SSYN");
+        out.push(1); // version
+        out.push(d as u8);
+        for &n in &self.n {
+            out.push(n as u8);
+        }
+        out.extend_from_slice(&(self.coeffs.len() as u64).to_le_bytes());
+        // Deterministic order for byte-identical round trips.
+        let mut entries: Vec<(&Vec<usize>, &f64)> = self.coeffs.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (idx, &v) in entries {
+            for &i in idx.iter() {
+                out.extend_from_slice(&(i as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`StoredSynopsis::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for truncated input, wrong magic/version, or
+    /// out-of-range coefficient indices.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoredSynopsis, String> {
+        let take = |bytes: &[u8], at: &mut usize, n: usize| -> Result<Vec<u8>, String> {
+            if *at + n > bytes.len() {
+                return Err("truncated synopsis".into());
+            }
+            let out = bytes[*at..*at + n].to_vec();
+            *at += n;
+            Ok(out)
+        };
+        let mut at = 0usize;
+        if take(bytes, &mut at, 4)? != b"SSYN" {
+            return Err("not a synopsis (bad magic)".into());
+        }
+        let version = take(bytes, &mut at, 1)?[0];
+        if version != 1 {
+            return Err(format!("unsupported synopsis version {version}"));
+        }
+        let d = take(bytes, &mut at, 1)?[0] as usize;
+        if d == 0 {
+            return Err("zero-dimensional synopsis".into());
+        }
+        let mut n = Vec::with_capacity(d);
+        for _ in 0..d {
+            n.push(take(bytes, &mut at, 1)?[0] as u32);
+        }
+        let count =
+            u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().expect("8 bytes")) as usize;
+        let mut coeffs = HashMap::with_capacity(count);
+        let mut retained = 0usize;
+        let origin = vec![0usize; d];
+        for _ in 0..count {
+            let mut idx = Vec::with_capacity(d);
+            for t in 0..d {
+                let i = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().expect("8 bytes"))
+                    as usize;
+                if i >= (1usize << n[t]) {
+                    return Err(format!("coefficient index {i} out of range on axis {t}"));
+                }
+                idx.push(i);
+            }
+            let v = f64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().expect("8 bytes"));
+            if idx != origin {
+                retained += 1;
+            }
+            coeffs.insert(idx, v);
+        }
+        if at != bytes.len() {
+            return Err("trailing bytes after synopsis".into());
+        }
+        Ok(StoredSynopsis {
+            n,
+            coeffs,
+            retained,
+        })
+    }
+
+    /// Approximate point query (Lemma 1 against the sparse map).
+    pub fn point(&self, pos: &[usize]) -> f64 {
+        reconstruct::standard_point_contributions(&self.n, pos)
+            .iter()
+            .map(|(idx, w)| w * self.get(idx))
+            .sum()
+    }
+
+    /// Approximate inclusive range sum (Lemma 2 against the sparse map).
+    pub fn range_sum(&self, lo: &[usize], hi: &[usize]) -> f64 {
+        reconstruct::standard_range_sum_contributions(&self.n, lo, hi)
+            .iter()
+            .map(|(idx, w)| w * self.get(idx))
+            .sum()
+    }
+
+    /// Fraction of the data's total energy captured by the synopsis,
+    /// relative to the full transform in `cs` (1.0 = lossless).
+    pub fn energy_ratio<M: TilingMap, S: BlockStore>(&self, cs: &mut CoeffStore<M, S>) -> f64 {
+        let dims: Vec<usize> = self.n.iter().map(|&nt| 1usize << nt).collect();
+        let shape = ss_array::Shape::new(&dims);
+        let mut kept = 0.0;
+        let mut total = 0.0;
+        for idx in ss_array::MultiIndexIter::new(&dims) {
+            let scale = ss_core::standard::orthonormal_scale(&shape, &idx);
+            let full = (cs.read(&idx) * scale).powi(2);
+            total += full;
+            if self.coeffs.contains_key(&idx) {
+                kept += full;
+            }
+        }
+        if total == 0.0 {
+            1.0
+        } else {
+            kept / total
+        }
+    }
+}
+
+/// Progressive (online-aggregation style) range sum: evaluates the Lemma 2
+/// contribution list **coarse-to-fine**, returning the running estimate
+/// after each batch of levels. The last element is the exact answer; early
+/// elements are usable approximations after a handful of coefficient reads.
+pub fn progressive_range_sum<M: TilingMap, S: BlockStore>(
+    cs: &mut CoeffStore<M, S>,
+    n: &[u32],
+    lo: &[usize],
+    hi: &[usize],
+) -> Vec<f64> {
+    let mut contribs = reconstruct::standard_range_sum_contributions(n, lo, hi);
+    // Coarse-to-fine: order by the finest level participating in the tuple
+    // (larger minimum level = coarser = first).
+    let fineness = |idx: &[usize]| -> u32 {
+        idx.iter()
+            .zip(n)
+            .map(|(&i, &nt)| match ss_core::Layout1d::new(nt).coeff_at(i) {
+                ss_core::Coeff1d::Scaling => nt,
+                ss_core::Coeff1d::Detail { level, .. } => level,
+            })
+            .min()
+            .unwrap_or(0)
+    };
+    contribs.sort_by_key(|(idx, _)| std::cmp::Reverse(fineness(idx)));
+    let mut estimates = Vec::new();
+    let mut acc = 0.0;
+    let mut current_band = None;
+    for (idx, w) in &contribs {
+        let band = fineness(idx);
+        if let Some(cb) = current_band {
+            if band != cb {
+                estimates.push(acc);
+            }
+        }
+        current_band = Some(band);
+        acc += w * cs.read(idx);
+    }
+    estimates.push(acc);
+    estimates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_array::{MultiIndexIter, NdArray, Shape};
+    use ss_core::tiling::StandardTiling;
+    use ss_storage::{wstore::mem_store, IoStats, MemBlockStore};
+
+    fn build_store(a: &NdArray<f64>, n: &[u32]) -> CoeffStore<StandardTiling, MemBlockStore> {
+        let t = ss_core::standard::forward_to(a);
+        let mut cs = mem_store(
+            StandardTiling::new(n, &vec![2; n.len()]),
+            1 << 12,
+            IoStats::new(),
+        );
+        for idx in MultiIndexIter::new(a.shape().dims()) {
+            cs.write(&idx, t.get(&idx));
+        }
+        cs
+    }
+
+    fn smooth(side: usize) -> NdArray<f64> {
+        NdArray::from_fn(Shape::cube(2, side), |idx| {
+            (idx[0] as f64 / 5.0).sin() * 20.0 + (idx[1] as f64 / 7.0).cos() * 15.0
+        })
+    }
+
+    #[test]
+    fn full_synopsis_is_exact() {
+        let a = smooth(16);
+        let mut cs = build_store(&a, &[4, 4]);
+        let syn = StoredSynopsis::build(&mut cs, &[4, 4], 16 * 16);
+        for idx in MultiIndexIter::new(&[16, 16]) {
+            assert!((syn.point(&idx) - a.get(&idx)).abs() < 1e-9, "{idx:?}");
+        }
+        assert!((syn.energy_ratio(&mut cs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_improves_with_k() {
+        let a = smooth(32);
+        let mut cs = build_store(&a, &[5, 5]);
+        let mut prev_err = f64::INFINITY;
+        for k in [4usize, 16, 64, 256] {
+            let syn = StoredSynopsis::build(&mut cs, &[5, 5], k);
+            let mut err = 0.0;
+            for idx in MultiIndexIter::new(&[32, 32]) {
+                err += (syn.point(&idx) - a.get(&idx)).powi(2);
+            }
+            assert!(err <= prev_err + 1e-9, "k={k}: {err} > {prev_err}");
+            prev_err = err;
+        }
+        // A smooth field compresses well: 64 of 1024 terms should capture
+        // most of the energy.
+        let syn = StoredSynopsis::build(&mut cs, &[5, 5], 64);
+        assert!(syn.energy_ratio(&mut cs) > 0.95);
+    }
+
+    #[test]
+    fn range_sums_on_synopsis_are_close() {
+        let a = smooth(32);
+        let mut cs = build_store(&a, &[5, 5]);
+        let syn = StoredSynopsis::build(&mut cs, &[5, 5], 128);
+        let exact = a.region_sum(&[4, 4], &[27, 19]);
+        let approx = syn.range_sum(&[4, 4], &[27, 19]);
+        let rel = (approx - exact).abs() / exact.abs().max(1.0);
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn progressive_converges_to_exact() {
+        let a = smooth(32);
+        let mut cs = build_store(&a, &[5, 5]);
+        let exact = a.region_sum(&[3, 5], &[22, 30]);
+        let estimates = progressive_range_sum(&mut cs, &[5, 5], &[3, 5], &[22, 30]);
+        assert!(!estimates.is_empty());
+        let last = *estimates.last().unwrap();
+        assert!((last - exact).abs() < 1e-6);
+        // Refinement: the final estimate must be at least as good as the
+        // first.
+        let first_err = (estimates[0] - exact).abs();
+        let last_err = (last - exact).abs();
+        assert!(last_err <= first_err + 1e-9);
+    }
+
+    #[test]
+    fn byte_roundtrip_is_lossless_and_deterministic() {
+        let a = smooth(16);
+        let mut cs = build_store(&a, &[4, 4]);
+        let syn = StoredSynopsis::build(&mut cs, &[4, 4], 40);
+        let bytes = syn.to_bytes();
+        let back = StoredSynopsis::from_bytes(&bytes).unwrap();
+        assert_eq!(back.retained(), syn.retained());
+        assert_eq!(back.levels(), syn.levels());
+        for idx in MultiIndexIter::new(&[16, 16]) {
+            assert!((back.point(&idx) - syn.point(&idx)).abs() < 1e-12);
+        }
+        assert_eq!(back.to_bytes(), bytes, "round trip must be byte-identical");
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(StoredSynopsis::from_bytes(b"nope").is_err());
+        assert!(StoredSynopsis::from_bytes(b"SSYN").is_err());
+        let a = smooth(16);
+        let mut cs = build_store(&a, &[4, 4]);
+        let mut bytes = StoredSynopsis::build(&mut cs, &[4, 4], 8).to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(StoredSynopsis::from_bytes(&bytes).is_err());
+        bytes.clear();
+        bytes.extend_from_slice(b"SSYN");
+        bytes.push(9); // bad version
+        assert!(StoredSynopsis::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn synopsis_of_sparse_spikes_reconstructs_spikes() {
+        // A few large spikes on a zero background. Best-K under L² keeps
+        // the *fine* coefficients around each spike (largest orthonormal
+        // magnitude), so point values reproduce well — while aligned range
+        // sums, which depend only on the small coarse coefficients, do not.
+        // Both facts are properties of L²-optimal synopses, not bugs.
+        let mut a = NdArray::<f64>::zeros(Shape::cube(2, 16));
+        a.set(&[3, 3], 100.0);
+        a.set(&[12, 9], -80.0);
+        let mut cs = build_store(&a, &[4, 4]);
+        let syn = StoredSynopsis::build(&mut cs, &[4, 4], 24);
+        // Point queries at and away from the spikes are accurate.
+        assert!((syn.point(&[3, 3]) - 100.0).abs() < 25.0);
+        assert!((syn.point(&[12, 9]) + 80.0).abs() < 25.0);
+        assert!(syn.point(&[8, 2]).abs() < 10.0);
+        // Full-domain sum uses only the (always retained) average: exact.
+        let exact = a.total();
+        let approx = syn.range_sum(&[0, 0], &[15, 15]);
+        assert!((approx - exact).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! The block-device abstraction.
+
+/// A store of fixed-capacity blocks of `f64` coefficients.
+///
+/// Blocks are addressed by ordinal; every read/write transfers a whole
+/// block, mirroring disk-sector granularity. Implementations count their
+/// transfers in a shared [`IoStats`](crate::IoStats).
+pub trait BlockStore {
+    /// Coefficients per block.
+    fn block_capacity(&self) -> usize;
+
+    /// Current number of blocks.
+    fn num_blocks(&self) -> usize;
+
+    /// Reads block `id` into `buf` (`buf.len() == block_capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range or `buf` has the wrong length.
+    fn read_block(&mut self, id: usize, buf: &mut [f64]);
+
+    /// Writes `buf` to block `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range or `buf` has the wrong length.
+    fn write_block(&mut self, id: usize, buf: &[f64]);
+
+    /// Grows the store to at least `blocks` blocks, zero-filled. Growing is
+    /// not an I/O-counted operation (allocation, not transfer).
+    fn grow(&mut self, blocks: usize);
+}
+
+#[cfg(test)]
+pub(crate) mod testsuite {
+    //! Behavioural test suite shared by every [`BlockStore`] implementation.
+    use super::*;
+    use crate::IoStats;
+
+    pub fn roundtrip(store: &mut dyn BlockStore) {
+        let cap = store.block_capacity();
+        let data: Vec<f64> = (0..cap).map(|i| i as f64 * 1.5 - 3.0).collect();
+        store.write_block(2, &data);
+        let mut buf = vec![0.0; cap];
+        store.read_block(2, &mut buf);
+        assert_eq!(buf, data);
+        // Other blocks remain zero.
+        store.read_block(0, &mut buf);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    pub fn grow_preserves(store: &mut dyn BlockStore) {
+        let cap = store.block_capacity();
+        let data: Vec<f64> = (0..cap).map(|i| (i * i) as f64).collect();
+        store.write_block(1, &data);
+        let old = store.num_blocks();
+        store.grow(old * 2);
+        assert!(store.num_blocks() >= old * 2);
+        let mut buf = vec![1.0; cap];
+        store.read_block(1, &mut buf);
+        assert_eq!(buf, data);
+        store.read_block(old * 2 - 1, &mut buf);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    pub fn counts_io(store: &mut dyn BlockStore, stats: &IoStats) {
+        let cap = store.block_capacity();
+        stats.reset();
+        let buf = vec![0.5; cap];
+        store.write_block(0, &buf);
+        store.write_block(1, &buf);
+        let mut out = vec![0.0; cap];
+        store.read_block(0, &mut out);
+        let snap = stats.snapshot();
+        assert_eq!(snap.block_writes, 2);
+        assert_eq!(snap.block_reads, 1);
+    }
+}

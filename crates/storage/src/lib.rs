@@ -1,0 +1,31 @@
+//! Disk-block storage substrate with exact I/O accounting.
+//!
+//! The paper measures every algorithm in *disk-block I/Os* under the optimal
+//! coefficient-to-block allocation of its Section 3. This crate provides the
+//! machinery to reproduce those measurements faithfully:
+//!
+//! * [`BlockStore`] — a fixed-capacity block device abstraction, with an
+//!   in-memory implementation ([`MemBlockStore`]) and a real file-backed one
+//!   ([`FileBlockStore`]) that issues actual positioned reads and writes,
+//! * [`IoStats`] — shared atomic counters of block reads/writes and
+//!   coefficient accesses,
+//! * [`BufferPool`] — an LRU cache over a block store with a configurable
+//!   budget in blocks, modelling the paper's "available memory `M^d`",
+//! * [`CoeffStore`] — wavelet coefficients mapped onto blocks through any
+//!   [`TilingMap`](ss_core::TilingMap) (subtree tiles or the naive row-major
+//!   baseline), the object every out-of-core algorithm in `ss-transform`
+//!   and every query in `ss-query` runs against.
+
+pub mod block;
+pub mod file;
+pub mod mem;
+pub mod pool;
+pub mod stats;
+pub mod wstore;
+
+pub use block::BlockStore;
+pub use file::FileBlockStore;
+pub use mem::MemBlockStore;
+pub use pool::BufferPool;
+pub use stats::{IoSnapshot, IoStats};
+pub use wstore::CoeffStore;

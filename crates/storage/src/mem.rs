@@ -1,0 +1,94 @@
+//! In-memory block store.
+
+use crate::block::BlockStore;
+use crate::stats::IoStats;
+
+/// A [`BlockStore`] backed by a `Vec<f64>`; transfers are still counted, so
+/// experiments run at full speed with exact I/O accounting.
+pub struct MemBlockStore {
+    capacity: usize,
+    data: Vec<f64>,
+    stats: IoStats,
+}
+
+impl MemBlockStore {
+    /// A zero-filled store of `blocks` blocks of `capacity` coefficients.
+    pub fn new(capacity: usize, blocks: usize, stats: IoStats) -> Self {
+        assert!(capacity >= 1);
+        MemBlockStore {
+            capacity,
+            data: vec![0.0; capacity * blocks],
+            stats,
+        }
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+impl BlockStore for MemBlockStore {
+    fn block_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.data.len() / self.capacity
+    }
+
+    fn read_block(&mut self, id: usize, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.capacity, "buffer/block size mismatch");
+        let start = id * self.capacity;
+        buf.copy_from_slice(&self.data[start..start + self.capacity]);
+        self.stats.add_block_reads(1);
+    }
+
+    fn write_block(&mut self, id: usize, buf: &[f64]) {
+        assert_eq!(buf.len(), self.capacity, "buffer/block size mismatch");
+        let start = id * self.capacity;
+        self.data[start..start + self.capacity].copy_from_slice(buf);
+        self.stats.add_block_writes(1);
+    }
+
+    fn grow(&mut self, blocks: usize) {
+        if blocks > self.num_blocks() {
+            self.data.resize(blocks * self.capacity, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::testsuite;
+
+    #[test]
+    fn roundtrip() {
+        let stats = IoStats::new();
+        let mut store = MemBlockStore::new(8, 4, stats);
+        testsuite::roundtrip(&mut store);
+    }
+
+    #[test]
+    fn grow_preserves() {
+        let stats = IoStats::new();
+        let mut store = MemBlockStore::new(8, 4, stats);
+        testsuite::grow_preserves(&mut store);
+    }
+
+    #[test]
+    fn counts_io() {
+        let stats = IoStats::new();
+        let mut store = MemBlockStore::new(8, 4, stats.clone());
+        testsuite::counts_io(&mut store, &stats);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_block() {
+        let mut store = MemBlockStore::new(4, 2, IoStats::new());
+        let mut buf = vec![0.0; 4];
+        store.read_block(2, &mut buf);
+    }
+}

@@ -1,0 +1,256 @@
+//! An LRU buffer pool over a block store.
+//!
+//! The paper's algorithms assume a bounded working memory of `M^d`
+//! coefficients; the pool models that budget in *blocks*. Repeated touches
+//! of a cached block cost nothing; a miss reads one block, and evicting a
+//! dirty block writes one. Flushing at the end of an operation writes the
+//! remaining dirty blocks — exactly the accounting the paper's per-chunk
+//! analyses use.
+
+use crate::block::BlockStore;
+use std::collections::HashMap;
+
+/// LRU cache of blocks with write-back semantics.
+pub struct BufferPool<S: BlockStore> {
+    store: S,
+    budget: usize,
+    frames: HashMap<usize, Frame>,
+    clock: u64,
+}
+
+struct Frame {
+    data: Vec<f64>,
+    dirty: bool,
+    last_used: u64,
+}
+
+impl<S: BlockStore> BufferPool<S> {
+    /// Wraps `store` with a cache of at most `budget` blocks (`budget ≥ 1`).
+    pub fn new(store: S, budget: usize) -> Self {
+        assert!(budget >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            store,
+            budget,
+            frames: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Cache budget in blocks.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Immutable access to the wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Reads one coefficient of block `id`.
+    pub fn read(&mut self, id: usize, slot: usize) -> f64 {
+        self.touch(id);
+        self.frames[&id].data[slot]
+    }
+
+    /// Overwrites one coefficient of block `id`.
+    pub fn write(&mut self, id: usize, slot: usize, value: f64) {
+        self.touch(id);
+        let frame = self.frames.get_mut(&id).expect("frame just touched");
+        frame.data[slot] = value;
+        frame.dirty = true;
+    }
+
+    /// Adds `delta` to one coefficient of block `id`.
+    pub fn add(&mut self, id: usize, slot: usize, delta: f64) {
+        self.touch(id);
+        let frame = self.frames.get_mut(&id).expect("frame just touched");
+        frame.data[slot] += delta;
+        frame.dirty = true;
+    }
+
+    /// Runs `f` over the whole cached block `id` (marking it dirty when
+    /// `mutate` is true).
+    pub fn with_block<R>(&mut self, id: usize, mutate: bool, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        self.touch(id);
+        let frame = self.frames.get_mut(&id).expect("frame just touched");
+        if mutate {
+            frame.dirty = true;
+        }
+        f(&mut frame.data)
+    }
+
+    /// Writes every dirty block back to the store, keeping the cache warm.
+    pub fn flush(&mut self) {
+        let mut ids: Vec<usize> = self
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let frame = self.frames.get_mut(&id).expect("dirty frame");
+            self.store.write_block(id, &frame.data);
+            frame.dirty = false;
+        }
+    }
+
+    /// Flushes and drops every cached block (a "cold cache" reset between
+    /// experiment phases).
+    pub fn clear(&mut self) {
+        self.flush();
+        self.frames.clear();
+    }
+
+    /// Flushes and returns the wrapped store.
+    pub fn into_store(mut self) -> S {
+        self.flush();
+        self.store
+    }
+
+    /// Grows the underlying store (see [`BlockStore::grow`]).
+    pub fn grow(&mut self, blocks: usize) {
+        self.store.grow(blocks);
+    }
+
+    /// Number of blocks in the underlying store.
+    pub fn num_blocks(&self) -> usize {
+        self.store.num_blocks()
+    }
+
+    /// Coefficients per block.
+    pub fn block_capacity(&self) -> usize {
+        self.store.block_capacity()
+    }
+
+    fn touch(&mut self, id: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(frame) = self.frames.get_mut(&id) {
+            frame.last_used = clock;
+            return;
+        }
+        if self.frames.len() >= self.budget {
+            self.evict_lru();
+        }
+        let mut data = vec![0.0; self.store.block_capacity()];
+        self.store.read_block(id, &mut data);
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty: false,
+                last_used: clock,
+            },
+        );
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .frames
+            .iter()
+            .min_by_key(|(_, fr)| fr.last_used)
+            .map(|(&id, _)| id)
+            .expect("evict on empty pool");
+        let frame = self.frames.remove(&victim).expect("victim exists");
+        if frame.dirty {
+            self.store.write_block(victim, &frame.data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBlockStore;
+    use crate::stats::IoStats;
+
+    fn pool(blocks: usize, budget: usize) -> (BufferPool<MemBlockStore>, IoStats) {
+        let stats = IoStats::new();
+        let store = MemBlockStore::new(4, blocks, stats.clone());
+        (BufferPool::new(store, budget), stats)
+    }
+
+    #[test]
+    fn cached_reads_cost_one_block_read() {
+        let (mut p, stats) = pool(8, 2);
+        for _ in 0..10 {
+            p.read(3, 1);
+        }
+        assert_eq!(stats.snapshot().block_reads, 1);
+    }
+
+    #[test]
+    fn write_back_on_flush() {
+        let (mut p, stats) = pool(8, 2);
+        p.write(0, 0, 9.0);
+        p.write(0, 1, 8.0);
+        assert_eq!(stats.snapshot().block_writes, 0, "write-back, not through");
+        p.flush();
+        assert_eq!(stats.snapshot().block_writes, 1);
+        // Flushing twice does not rewrite clean blocks.
+        p.flush();
+        assert_eq!(stats.snapshot().block_writes, 1);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_writes_dirty() {
+        let (mut p, stats) = pool(8, 2);
+        p.write(0, 0, 1.0);
+        p.read(1, 0);
+        p.read(2, 0); // evicts block 0 (LRU, dirty)
+        assert_eq!(p.cached_blocks(), 2);
+        assert_eq!(stats.snapshot().block_writes, 1);
+        // Block 0 re-read returns the evicted value.
+        assert_eq!(p.read(0, 0), 1.0);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let (mut p, stats) = pool(8, 2);
+        p.read(0, 0);
+        p.read(1, 0);
+        p.read(0, 0); // 0 is now more recent than 1
+        p.read(2, 0); // must evict 1
+        stats.reset();
+        p.read(0, 0); // still cached
+        assert_eq!(stats.snapshot().block_reads, 0);
+        p.read(1, 0); // was evicted
+        assert_eq!(stats.snapshot().block_reads, 1);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let (mut p, _) = pool(4, 2);
+        p.add(0, 2, 1.5);
+        p.add(0, 2, 2.5);
+        assert_eq!(p.read(0, 2), 4.0);
+    }
+
+    #[test]
+    fn into_store_flushes() {
+        let (mut p, stats) = pool(4, 2);
+        p.write(1, 3, 7.0);
+        let mut store = p.into_store();
+        assert_eq!(stats.snapshot().block_writes, 1);
+        let mut buf = vec![0.0; 4];
+        store.read_block(1, &mut buf);
+        assert_eq!(buf[3], 7.0);
+    }
+
+    #[test]
+    fn with_block_bulk_access() {
+        let (mut p, _) = pool(4, 2);
+        p.with_block(2, true, |blk| {
+            for (i, v) in blk.iter_mut().enumerate() {
+                *v = i as f64;
+            }
+        });
+        assert_eq!(p.read(2, 3), 3.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared I/O counters.
+//!
+//! The experiments report costs in two units, matching the paper: raw
+//! *coefficients* touched (Figure 11) and *disk blocks* transferred
+//! (Figures 12–13). [`IoStats`] counts both; it is cheaply clonable and
+//! thread-safe so a single instance can be threaded through a block store,
+//! a buffer pool and a coefficient store at once.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cheaply clonable handle to a set of atomic I/O counters.
+#[derive(Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    block_reads: AtomicU64,
+    block_writes: AtomicU64,
+    coeff_reads: AtomicU64,
+    coeff_writes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Blocks read from the underlying store.
+    pub block_reads: u64,
+    /// Blocks written to the underlying store.
+    pub block_writes: u64,
+    /// Individual coefficients read through a [`CoeffStore`](crate::CoeffStore).
+    pub coeff_reads: u64,
+    /// Individual coefficients written/updated through a `CoeffStore`.
+    pub coeff_writes: u64,
+}
+
+impl IoSnapshot {
+    /// Total block transfers (reads + writes).
+    pub fn blocks(&self) -> u64 {
+        self.block_reads + self.block_writes
+    }
+
+    /// Total coefficient accesses (reads + writes).
+    pub fn coeffs(&self) -> u64 {
+        self.coeff_reads + self.coeff_writes
+    }
+
+    /// Counter-wise difference `self − earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.block_reads.saturating_sub(earlier.block_reads),
+            block_writes: self.block_writes.saturating_sub(earlier.block_writes),
+            coeff_reads: self.coeff_reads.saturating_sub(earlier.coeff_reads),
+            coeff_writes: self.coeff_writes.saturating_sub(earlier.coeff_writes),
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "blocks: {}r/{}w, coeffs: {}r/{}w",
+            self.block_reads, self.block_writes, self.coeff_reads, self.coeff_writes
+        )
+    }
+}
+
+impl IoStats {
+    /// Fresh counters at zero.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Records `n` block reads.
+    #[inline]
+    pub fn add_block_reads(&self, n: u64) {
+        self.inner.block_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` block writes.
+    #[inline]
+    pub fn add_block_writes(&self, n: u64) {
+        self.inner.block_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` coefficient reads.
+    #[inline]
+    pub fn add_coeff_reads(&self, n: u64) {
+        self.inner.coeff_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` coefficient writes.
+    #[inline]
+    pub fn add_coeff_writes(&self, n: u64) {
+        self.inner.coeff_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.inner.block_reads.load(Ordering::Relaxed),
+            block_writes: self.inner.block_writes.load(Ordering::Relaxed),
+            coeff_reads: self.inner.coeff_reads.load(Ordering::Relaxed),
+            coeff_writes: self.inner.coeff_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.inner.block_reads.store(0, Ordering::Relaxed);
+        self.inner.block_writes.store(0, Ordering::Relaxed);
+        self.inner.coeff_reads.store(0, Ordering::Relaxed);
+        self.inner.coeff_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IoStats({})", self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = IoStats::new();
+        stats.add_block_reads(3);
+        stats.add_block_writes(2);
+        stats.add_coeff_reads(10);
+        stats.add_coeff_writes(7);
+        let snap = stats.snapshot();
+        assert_eq!(snap.block_reads, 3);
+        assert_eq!(snap.block_writes, 2);
+        assert_eq!(snap.blocks(), 5);
+        assert_eq!(snap.coeffs(), 17);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        b.add_block_reads(4);
+        assert_eq!(a.snapshot().block_reads, 4);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let stats = IoStats::new();
+        stats.add_block_reads(5);
+        let before = stats.snapshot();
+        stats.add_block_reads(3);
+        stats.add_coeff_writes(2);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.block_reads, 3);
+        assert_eq!(delta.coeff_writes, 2);
+        assert_eq!(delta.block_writes, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let stats = IoStats::new();
+        stats.add_coeff_reads(9);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+}

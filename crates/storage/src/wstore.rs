@@ -1,0 +1,204 @@
+//! Tiled coefficient storage: wavelet coefficients on disk blocks.
+//!
+//! [`CoeffStore`] glues a [`TilingMap`] (which decides
+//! *where* a coefficient lives) to a [`BufferPool`] over a [`BlockStore`]
+//! (which decides *what a touch costs*). Every out-of-core algorithm and
+//! every disk query in the workspace runs against this type, so its
+//! counters are the experiments' measurements.
+
+use crate::block::BlockStore;
+use crate::pool::BufferPool;
+use crate::stats::IoStats;
+use ss_core::TilingMap;
+
+/// Wavelet coefficients stored in blocks laid out by a tiling map.
+pub struct CoeffStore<M: TilingMap, S: BlockStore> {
+    map: M,
+    pool: BufferPool<S>,
+    stats: IoStats,
+}
+
+impl<M: TilingMap, S: BlockStore> CoeffStore<M, S> {
+    /// Builds a store over `store` with layout `map` and a cache of
+    /// `pool_budget` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block store's capacity differs from the map's, or
+    /// when the store has fewer blocks than the map needs.
+    pub fn new(map: M, store: S, pool_budget: usize, stats: IoStats) -> Self {
+        assert_eq!(
+            store.block_capacity(),
+            map.block_capacity(),
+            "block capacity mismatch between store and tiling map"
+        );
+        assert!(
+            store.num_blocks() >= map.num_tiles(),
+            "store has {} blocks, map needs {}",
+            store.num_blocks(),
+            map.num_tiles()
+        );
+        CoeffStore {
+            map,
+            pool: BufferPool::new(store, pool_budget),
+            stats,
+        }
+    }
+
+    /// The tiling map.
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Reads the coefficient at tuple index `idx`.
+    pub fn read(&mut self, idx: &[usize]) -> f64 {
+        let loc = self.map.locate(idx);
+        self.stats.add_coeff_reads(1);
+        self.pool.read(loc.tile, loc.slot)
+    }
+
+    /// Overwrites the coefficient at `idx`.
+    pub fn write(&mut self, idx: &[usize], value: f64) {
+        let loc = self.map.locate(idx);
+        self.stats.add_coeff_writes(1);
+        self.pool.write(loc.tile, loc.slot, value);
+    }
+
+    /// Adds `delta` to the coefficient at `idx` (the SHIFT-SPLIT fold
+    /// target).
+    pub fn add(&mut self, idx: &[usize], delta: f64) {
+        let loc = self.map.locate(idx);
+        self.stats.add_coeff_writes(1);
+        self.pool.add(loc.tile, loc.slot, delta);
+    }
+
+    /// Reads a raw `(tile, slot)` location — used by query plans that
+    /// resolve locations up front to reason about block access patterns.
+    pub fn read_at(&mut self, tile: usize, slot: usize) -> f64 {
+        self.stats.add_coeff_reads(1);
+        self.pool.read(tile, slot)
+    }
+
+    /// Writes every dirty cached block back.
+    pub fn flush(&mut self) {
+        self.pool.flush();
+    }
+
+    /// Flushes and empties the cache (cold-cache reset between phases).
+    pub fn clear_cache(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Direct access to the underlying pool (for bulk tile operations).
+    pub fn pool(&mut self) -> &mut BufferPool<S> {
+        &mut self.pool
+    }
+
+    /// Decomposes into map and (flushed) store.
+    pub fn into_parts(self) -> (M, S) {
+        let CoeffStore { map, pool, .. } = self;
+        (map, pool.into_store())
+    }
+}
+
+/// Convenience: an in-memory tiled store sized for `map`.
+pub fn mem_store<M: TilingMap>(
+    map: M,
+    pool_budget: usize,
+    stats: IoStats,
+) -> CoeffStore<M, crate::mem::MemBlockStore> {
+    let store =
+        crate::mem::MemBlockStore::new(map.block_capacity(), map.num_tiles(), stats.clone());
+    CoeffStore::new(map, store, pool_budget, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{StandardTiling, Tiling1d, TilingMap};
+
+    #[test]
+    fn read_write_roundtrip_1d() {
+        let stats = IoStats::new();
+        let mut cs = mem_store(Tiling1d::new(4, 2), 4, stats);
+        for i in 0..16usize {
+            cs.write(&[i], i as f64 * 2.0);
+        }
+        for i in 0..16usize {
+            assert_eq!(cs.read(&[i]), i as f64 * 2.0);
+        }
+    }
+
+    #[test]
+    fn add_accumulates_and_flushes() {
+        let stats = IoStats::new();
+        let mut cs = mem_store(Tiling1d::new(3, 1), 2, stats.clone());
+        cs.add(&[5], 1.0);
+        cs.add(&[5], 2.5);
+        cs.flush();
+        cs.clear_cache();
+        assert_eq!(cs.read(&[5]), 3.5);
+    }
+
+    #[test]
+    fn coefficient_counters_track_accesses() {
+        let stats = IoStats::new();
+        let mut cs = mem_store(StandardTiling::cube(2, 3, 1), 8, stats.clone());
+        cs.write(&[1, 1], 4.0);
+        cs.read(&[1, 1]);
+        cs.read(&[0, 0]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.coeff_writes, 1);
+        assert_eq!(snap.coeff_reads, 2);
+    }
+
+    #[test]
+    fn block_reads_reflect_tiling_locality() {
+        // Root-path coefficients share tiles; scattered level-1 details
+        // do not.
+        let stats = IoStats::new();
+        let map = Tiling1d::new(6, 2);
+        let mut cs = mem_store(map, 64, stats.clone());
+        stats.reset();
+        // Touch a root path (indices 0,1,2,4,8,16,32 for pos 0).
+        for idx in [0usize, 1, 2, 4, 8, 16, 32] {
+            cs.read(&[idx]);
+        }
+        let path_blocks = stats.snapshot().block_reads;
+        assert!(
+            path_blocks <= 3,
+            "path should touch ≤ ceil(6/2) tiles, got {path_blocks}"
+        );
+    }
+
+    #[test]
+    fn values_survive_store_roundtrip() {
+        let stats = IoStats::new();
+        let map = Tiling1d::new(4, 2);
+        let n_tiles = map.num_tiles();
+        let mut cs = mem_store(map, 2, stats.clone());
+        for i in 0..16usize {
+            cs.write(&[i], (i * i) as f64);
+        }
+        let (map, store) = cs.into_parts();
+        assert_eq!(store.num_blocks(), n_tiles);
+        let mut cs2 = CoeffStore::new(map, store, 2, stats);
+        for i in 0..16usize {
+            assert_eq!(cs2.read(&[i]), (i * i) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_capacity_mismatch() {
+        let stats = IoStats::new();
+        let map = Tiling1d::new(4, 2);
+        let store = crate::mem::MemBlockStore::new(2, 100, stats.clone());
+        let _ = CoeffStore::new(map, store, 2, stats);
+    }
+}

@@ -1,0 +1,34 @@
+//! Wavelet synopses of data streams (Sections 5.3 and 6.3).
+//!
+//! In the time-series model a stream is an ever-growing vector; the goal is
+//! to maintain the best K-term wavelet approximation using small space and
+//! small per-item time. Key fact: once a coefficient's support is entirely
+//! in the past it is *final*; only the `log N` coefficients on the current
+//! root path (the *wavelet crest*) can still change.
+//!
+//! * [`synopsis`] — the top-K container (ranked by orthonormal magnitude)
+//!   and reconstruction/error metrics,
+//! * [`stream1d`] — Gilbert-style per-item maintenance (`O(log N)` work per
+//!   item) and the paper's buffered **SHIFT-SPLIT** maintenance
+//!   (**Result 3**: `O((1/B)·log(N/B))` amortised work with `B` extra
+//!   space),
+//! * [`multidim`] — multidimensional stream synopses: the standard form
+//!   needs `N^{d−1}·log T` live coefficients (**Result 4**), the
+//!   non-standard form a single hypercube chain plus one 1-d crest
+//!   (**Result 5**). To our knowledge (and the paper's), these are the
+//!   first maintenance algorithms for multidimensional stream wavelets.
+
+// Axis-indexed loops over several parallel per-axis arrays are the clearest
+// idiom for the index arithmetic in this workspace; iterator rewrites hurt
+// readability without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod metrics;
+pub mod multidim;
+pub mod stream1d;
+pub mod synopsis;
+
+pub use metrics::{offline_best_k_sse, sse};
+pub use multidim::{NonStandardStreamSynopsis, StandardStreamSynopsis};
+pub use stream1d::{BufferedStream, PerItemStream};
+pub use synopsis::{CoeffKey, KTermSynopsis, SynopsisEntry};

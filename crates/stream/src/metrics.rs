@@ -1,0 +1,61 @@
+//! Approximation-quality metrics for synopses.
+
+/// Sum of squared errors between two equal-length vectors.
+pub fn sse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sse: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// SSE of the offline best K-term wavelet approximation of `data`
+/// (orthonormal ranking; the overall average is always kept). This is the
+/// floor any streaming maintainer is measured against.
+pub fn offline_best_k_sse(data: &[f64], k: usize) -> f64 {
+    let (avg, entries) = crate::stream1d::offline_top_k(data, k);
+    let approx = crate::stream1d::reconstruct_from_entries(avg, &entries, data.len());
+    sse(data, &approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse_basics() {
+        assert_eq!(sse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(sse(&[1.0, 2.0], &[2.0, 0.0]), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn best_k_sse_decreases_with_k() {
+        let data: Vec<f64> = (0..64).map(|i| ((i * 13) % 17) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 4, 16, 63] {
+            let e = offline_best_k_sse(&data, k);
+            assert!(e <= prev + 1e-12, "k={k}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn full_k_is_exact() {
+        let data: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).cos() * 7.0).collect();
+        assert!(offline_best_k_sse(&data, 31) < 1e-9);
+    }
+
+    #[test]
+    fn parseval_identity_for_dropped_terms() {
+        // SSE of best-K equals the energy of the dropped orthonormal
+        // coefficients.
+        let data: Vec<f64> = (0..32).map(|i| ((i * 11) % 23) as f64 - 7.0).collect();
+        let coeffs = ss_core::haar1d::forward_to_vec(&data);
+        let layout = ss_core::Layout1d::for_len(32);
+        let mut mags: Vec<f64> = (1..32)
+            .map(|i| (coeffs[i] * layout.orthonormal_scale(i)).powi(2))
+            .collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let k = 5;
+        let dropped: f64 = mags[k..].iter().sum();
+        let got = offline_best_k_sse(&data, k);
+        assert!((got - dropped).abs() < 1e-6, "{got} vs {dropped}");
+    }
+}

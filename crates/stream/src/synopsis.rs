@@ -1,0 +1,235 @@
+//! The K-term synopsis container.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identity of a wavelet coefficient in an unbounded 1-d stream: detail
+/// coefficients are keyed by `(level, translation)`, which — unlike linear
+/// indices — never changes as the domain grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoeffKey {
+    /// Decomposition level (`1 ..`).
+    pub level: u32,
+    /// Translation within the level.
+    pub k: usize,
+}
+
+impl CoeffKey {
+    /// Orthonormal rescale factor of a 1-d detail at this level
+    /// (`2^{level/2}`).
+    pub fn scale(&self) -> f64 {
+        (2.0f64).powf(self.level as f64 / 2.0)
+    }
+}
+
+/// One retained coefficient.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynopsisEntry<Key> {
+    /// Which coefficient.
+    pub key: Key,
+    /// Unnormalised coefficient value (the paper's convention).
+    pub value: f64,
+    /// Orthonormal rescale factor of this coefficient's basis function.
+    pub scale: f64,
+}
+
+impl<Key> SynopsisEntry<Key> {
+    /// Orthonormal-basis magnitude `|value| · scale` — the correct
+    /// criterion for best-K selection under L² error.
+    pub fn magnitude(&self) -> f64 {
+        self.value.abs() * self.scale
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Ranked<Key> {
+    mag: f64,
+    key: Key,
+    value: f64,
+    scale: f64,
+}
+
+impl<Key: Ord + Eq> Eq for Ranked<Key> {}
+
+impl<Key: Ord> PartialOrd for Ranked<Key> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<Key: Ord> Ord for Ranked<Key> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mag
+            .total_cmp(&other.mag)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+/// Keeps the K finalized coefficients of largest orthonormal magnitude.
+///
+/// `offer` is `O(log K)`; the container never exceeds `K` entries, matching
+/// the `O(K)` part of the paper's space bounds. Generic over the key type
+/// so the same container serves 1-d streams ([`CoeffKey`]) and the
+/// multidimensional keys of [`crate::multidim`].
+#[derive(Clone, Debug)]
+pub struct KTermSynopsis<Key: Ord + Clone = CoeffKey> {
+    k: usize,
+    heap: BinaryHeap<Reverse<Ranked<Key>>>,
+    offers: u64,
+}
+
+impl<Key: Ord + Clone> KTermSynopsis<Key> {
+    /// A synopsis retaining at most `k` coefficients.
+    pub fn new(k: usize) -> Self {
+        KTermSynopsis {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1 << 16) + 1),
+            offers: 0,
+        }
+    }
+
+    /// Capacity `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Coefficients currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total offers seen (for experiment accounting).
+    pub fn offers(&self) -> u64 {
+        self.offers
+    }
+
+    /// Offers a finalized coefficient with its orthonormal rescale factor;
+    /// it is retained iff it ranks among the K largest magnitudes so far.
+    pub fn offer(&mut self, key: Key, value: f64, scale: f64) {
+        self.offers += 1;
+        if self.k == 0 || value == 0.0 {
+            return;
+        }
+        let entry = Ranked {
+            mag: value.abs() * scale,
+            key,
+            value,
+            scale,
+        };
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(entry));
+        } else if let Some(Reverse(min)) = self.heap.peek() {
+            if entry > *min {
+                self.heap.pop();
+                self.heap.push(Reverse(entry));
+            }
+        }
+    }
+
+    /// The retained coefficients, largest magnitude first.
+    pub fn entries(&self) -> Vec<SynopsisEntry<Key>> {
+        let mut out: Vec<SynopsisEntry<Key>> = self
+            .heap
+            .iter()
+            .map(|Reverse(r)| SynopsisEntry {
+                key: r.key.clone(),
+                value: r.value,
+                scale: r.scale,
+            })
+            .collect();
+        out.sort_by(|a, b| b.magnitude().total_cmp(&a.magnitude()));
+        out
+    }
+
+    /// Smallest retained magnitude (the admission threshold), or 0 while
+    /// below capacity.
+    pub fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            0.0
+        } else {
+            self.heap.peek().map_or(0.0, |Reverse(r)| r.mag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(level: u32, k: usize) -> CoeffKey {
+        CoeffKey { level, k }
+    }
+
+    fn offer1d(s: &mut KTermSynopsis, k: CoeffKey, v: f64) {
+        s.offer(k, v, k.scale());
+    }
+
+    #[test]
+    fn keeps_largest_by_orthonormal_magnitude() {
+        let mut s = KTermSynopsis::new(2);
+        // magnitude: 1.0·2^2 = 4; 3.0·√2 ≈ 4.24; 2.0·2 = 4.
+        offer1d(&mut s, key(4, 0), 1.0);
+        offer1d(&mut s, key(1, 5), 3.0);
+        offer1d(&mut s, key(2, 2), -2.0);
+        let kept: Vec<CoeffKey> = s.entries().iter().map(|e| e.key).collect();
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&key(1, 5)));
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything_nonzero() {
+        let mut s = KTermSynopsis::new(10);
+        offer1d(&mut s, key(1, 0), 0.5);
+        offer1d(&mut s, key(1, 1), 0.0); // zero is never retained
+        offer1d(&mut s, key(2, 0), -0.1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.threshold(), 0.0);
+    }
+
+    #[test]
+    fn entries_sorted_descending() {
+        let mut s = KTermSynopsis::new(5);
+        for (i, v) in [0.1, 5.0, 2.0, 4.0, 3.0].iter().enumerate() {
+            offer1d(&mut s, key(1, i), *v);
+        }
+        let mags: Vec<f64> = s.entries().iter().map(|e| e.magnitude()).collect();
+        for w in mags.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn matches_offline_top_k() {
+        let mut s = KTermSynopsis::new(3);
+        let values = [2.0, -7.0, 0.5, 3.0, -1.0, 6.5, 0.25, -4.0];
+        for (i, &v) in values.iter().enumerate() {
+            offer1d(&mut s, key(1, i), v);
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|v| v.abs()).collect();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let kept: Vec<f64> = s.entries().iter().map(|e| e.value.abs()).collect();
+        assert_eq!(kept, sorted[..3].to_vec());
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut s = KTermSynopsis::new(0);
+        offer1d(&mut s, key(1, 0), 9.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn generic_keys() {
+        let mut s: KTermSynopsis<(usize, usize)> = KTermSynopsis::new(2);
+        s.offer((0, 1), 5.0, 1.0);
+        s.offer((1, 0), 2.0, 10.0);
+        s.offer((2, 2), 1.0, 1.0);
+        let kept: Vec<(usize, usize)> = s.entries().iter().map(|e| e.key).collect();
+        assert_eq!(kept, vec![(1, 0), (0, 1)]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Appending to wavelet-transformed data (Section 5.2).
+//!
+//! Appending differs from updating: the domain of the growing axis must
+//! sometimes *double*, which re-homes every stored coefficient (its linear
+//! index and therefore its tile change) and splits the old overall average
+//! into the new root pair. [`Appender`] packages the full workflow:
+//!
+//! 1. transform the newly arrived chunk in memory,
+//! 2. **expand** the stored transform when the chunk would overflow the
+//!    current domain (`O(N^d)` coefficient moves — costly but rare, and
+//!    made of cheap SHIFT/SPLIT index arithmetic rather than reconstruction),
+//! 3. SHIFT-SPLIT the chunk's transform into the store.
+
+use ss_array::NdArray;
+use ss_core::tiling::StandardTiling;
+use ss_core::TilingMap;
+use ss_storage::{BlockStore, CoeffStore, IoStats};
+
+/// Maintains a standard-form transform under appends along one axis.
+///
+/// The block-store lifecycle is delegated to a factory because expansion
+/// needs a fresh, larger store (e.g. a new file) to migrate into.
+pub struct Appender<S: BlockStore, F: FnMut(usize, usize) -> S> {
+    cs: CoeffStore<StandardTiling, S>,
+    levels: Vec<u32>,
+    tile_exp: Vec<u32>,
+    axis: usize,
+    filled: usize,
+    factory: F,
+    stats: IoStats,
+    pool_budget: usize,
+    expansions: usize,
+}
+
+impl<S: BlockStore, F: FnMut(usize, usize) -> S> Appender<S, F> {
+    /// Creates an empty appendable transform.
+    ///
+    /// * `levels` — initial per-axis domain levels (the append axis usually
+    ///   starts at the size of one chunk);
+    /// * `tile_exp` — per-axis tile-side exponents `b[t]`;
+    /// * `axis` — the growing axis;
+    /// * `factory(capacity, blocks)` — creates a zeroed block store;
+    /// * `pool_budget` — buffer-pool size in blocks.
+    pub fn new(
+        levels: &[u32],
+        tile_exp: &[u32],
+        axis: usize,
+        mut factory: F,
+        pool_budget: usize,
+        stats: IoStats,
+    ) -> Self {
+        assert!(axis < levels.len());
+        let map = StandardTiling::new(levels, tile_exp);
+        let store = factory(map.block_capacity(), map.num_tiles());
+        let cs = CoeffStore::new(map, store, pool_budget, stats.clone());
+        Appender {
+            cs,
+            levels: levels.to_vec(),
+            tile_exp: tile_exp.to_vec(),
+            axis,
+            filled: 0,
+            factory,
+            stats,
+            pool_budget,
+            expansions: 0,
+        }
+    }
+
+    /// Current per-axis domain levels.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Cells filled along the append axis.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Domain expansions performed so far.
+    pub fn expansions(&self) -> usize {
+        self.expansions
+    }
+
+    /// The underlying coefficient store.
+    pub fn store(&mut self) -> &mut CoeffStore<StandardTiling, S> {
+        &mut self.cs
+    }
+
+    /// Shared I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Appends one chunk.
+    ///
+    /// The chunk must span the full domain on every non-append axis and a
+    /// power-of-two extent on the append axis, and the append frontier must
+    /// be aligned to the chunk extent (dyadic appends, as in the paper's
+    /// monthly 8 × 8 × 32 feed).
+    pub fn append(&mut self, chunk: &NdArray<f64>) {
+        let d = self.levels.len();
+        assert_eq!(chunk.shape().ndim(), d, "chunk rank mismatch");
+        let chunk_levels = chunk.shape().levels();
+        for t in 0..d {
+            if t != self.axis {
+                assert_eq!(
+                    chunk_levels[t], self.levels[t],
+                    "chunk must span the whole domain on axis {t}"
+                );
+            }
+        }
+        let extent = 1usize << chunk_levels[self.axis];
+        assert!(
+            self.filled.is_multiple_of(extent),
+            "append frontier {} not aligned to chunk extent {extent}",
+            self.filled
+        );
+        // Expand until the chunk fits.
+        while self.filled + extent > (1usize << self.levels[self.axis]) {
+            self.expand();
+        }
+        // SHIFT-SPLIT the chunk in.
+        let mut block = vec![0usize; d];
+        block[self.axis] = self.filled >> chunk_levels[self.axis];
+        let mut t = chunk.clone();
+        ss_core::standard::forward(&mut t);
+        ss_core::split::standard_deltas(&t, &self.levels, &block, |idx, delta| {
+            self.cs.add(idx, delta);
+        });
+        self.cs.flush();
+        self.filled += extent;
+    }
+
+    /// Doubles the append axis, migrating every coefficient to its new
+    /// tile: details keep `(level, k)`, the old average splits into the new
+    /// average plus the new root detail.
+    fn expand(&mut self) {
+        let d = self.levels.len();
+        let old_levels = self.levels.clone();
+        self.levels[self.axis] += 1;
+        let new_map = StandardTiling::new(&self.levels, &self.tile_exp);
+        let new_store = (self.factory)(new_map.block_capacity(), new_map.num_tiles());
+        let mut new_cs = CoeffStore::new(new_map, new_store, self.pool_budget, self.stats.clone());
+
+        let n_axis = old_levels[self.axis];
+        // Migrate tile by tile: every old tile is read exactly once, and
+        // each tile's outgoing deltas are applied sorted by target tile, so
+        // the expansion costs O(tiles) block reads plus O(tiles) writes
+        // instead of thrashing the pool (the expansion is the dominant cost
+        // of Figure 13's spike months).
+        let old_axes = self.cs.map().axes().to_vec();
+        let tile_counts: Vec<usize> = old_axes.iter().map(|a| a.num_tiles()).collect();
+        let mut target = vec![0usize; d];
+        let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+        for tile_tuple in ss_array::MultiIndexIter::new(&tile_counts) {
+            let members: Vec<Vec<usize>> = old_axes
+                .iter()
+                .zip(&tile_tuple)
+                .map(|(a, &t)| a.tile_members(t))
+                .collect();
+            let counts: Vec<usize> = members.iter().map(|m| m.len()).collect();
+            let mut idx = vec![0usize; d];
+            for choice in ss_array::MultiIndexIter::new(&counts) {
+                for (t, &c) in choice.iter().enumerate() {
+                    idx[t] = members[t][c];
+                }
+                let v = self.cs.read(&idx);
+                if v == 0.0 {
+                    continue;
+                }
+                target.copy_from_slice(&idx);
+                for (new_i, factor) in ss_core::append::expand_index_1d(n_axis, idx[self.axis]) {
+                    target[self.axis] = new_i;
+                    let loc = new_cs.map().locate(&target);
+                    batch.push((loc.tile, loc.slot, v * factor));
+                }
+            }
+            // Apply this old tile's deltas grouped by destination tile.
+            batch.sort_unstable_by_key(|&(tile, slot, _)| (tile, slot));
+            for &(tile, slot, delta) in &batch {
+                self.stats.add_coeff_writes(1);
+                new_cs.pool().add(tile, slot, delta);
+            }
+            batch.clear();
+        }
+        new_cs.flush();
+        self.cs = new_cs;
+        self.expansions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_array::Shape;
+    use ss_storage::MemBlockStore;
+
+    type MemAppender = Appender<MemBlockStore, Box<dyn FnMut(usize, usize) -> MemBlockStore>>;
+
+    fn appender(levels: &[u32], tile_exp: &[u32], axis: usize, stats: IoStats) -> MemAppender {
+        let s2 = stats.clone();
+        Appender::new(
+            levels,
+            tile_exp,
+            axis,
+            Box::new(move |cap, blocks| MemBlockStore::new(cap, blocks, s2.clone())),
+            1 << 16,
+            stats,
+        )
+    }
+
+    fn month(dims: &[usize], m: usize) -> NdArray<f64> {
+        NdArray::from_fn(Shape::new(dims), |idx| {
+            ((idx.iter().sum::<usize>() + m * 13) % 7) as f64 + m as f64 * 0.1
+        })
+    }
+
+    #[test]
+    fn appends_match_from_scratch_transform() {
+        let stats = IoStats::new();
+        let mut app = appender(&[2, 2, 3], &[1, 1, 2], 2, stats);
+        let months = 5usize; // grows 8 -> 64 along axis 2
+        for m in 0..months {
+            app.append(&month(&[4, 4, 8], m));
+        }
+        assert_eq!(app.filled(), 40);
+        assert_eq!(app.levels(), &[2, 2, 6]);
+        // Reference: full history zero-padded to the expanded domain.
+        let mut full = NdArray::<f64>::zeros(Shape::new(&[4, 4, 64]));
+        for m in 0..months {
+            full.insert(&[0, 0, m * 8], &month(&[4, 4, 8], m));
+        }
+        let want = ss_core::standard::forward_to(&full);
+        let cs = app.store();
+        for idx in ss_array::MultiIndexIter::new(&[4, 4, 64]) {
+            let got = cs.read(&idx);
+            assert!(
+                (got - want.get(&idx)).abs() < 1e-9,
+                "{idx:?}: {got} vs {}",
+                want.get(&idx)
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_count_follows_doublings() {
+        let stats = IoStats::new();
+        let mut app = appender(&[1, 2], &[1, 1], 1, stats);
+        // Axis 1 starts at 4 cells; after m+1 four-cell appends the domain
+        // must reach 4·next_pow2(m+1), i.e. ceil(log2(m+1)) doublings.
+        for m in 0..9usize {
+            app.append(&month(&[2, 4], m));
+            let expected = (m + 1).next_power_of_two().trailing_zeros() as usize;
+            assert_eq!(app.expansions(), expected, "after month {m}");
+        }
+    }
+
+    #[test]
+    fn expansion_io_spikes_visible() {
+        let stats = IoStats::new();
+        let mut app = appender(&[2, 2, 3], &[1, 1, 1], 2, stats.clone());
+        let mut costs = Vec::new();
+        for m in 0..8usize {
+            let before = stats.snapshot();
+            app.append(&month(&[4, 4, 8], m));
+            costs.push(stats.snapshot().since(&before).blocks());
+        }
+        // Axis 2 starts at 8 cells: expansions fire at months 1 (8→16),
+        // 2 (16→32) and 4 (32→64); those months must out-cost the quiet
+        // month 3 (and 5–7).
+        assert!(costs[1] > costs[3], "{costs:?}");
+        assert!(costs[2] > costs[3], "{costs:?}");
+        assert!(costs[4] > costs[5], "{costs:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_misaligned_chunks() {
+        let stats = IoStats::new();
+        let mut app = appender(&[1, 3], &[1, 1], 1, stats);
+        app.append(&month(&[2, 8], 0));
+        app.append(&month(&[2, 4], 1)); // frontier 8 % 4 == 0: fine
+        app.append(&month(&[2, 8], 2)); // frontier 12 % 8 != 0: panic
+    }
+
+    #[test]
+    fn append_along_non_last_axis() {
+        let stats = IoStats::new();
+        let mut app = appender(&[2, 2], &[1, 1], 0, stats);
+        for m in 0..3usize {
+            app.append(&month(&[4, 4], m));
+        }
+        let mut full = NdArray::<f64>::zeros(Shape::new(&[16, 4]));
+        for m in 0..3usize {
+            full.insert(&[m * 4, 0], &month(&[4, 4], m));
+        }
+        let want = ss_core::standard::forward_to(&full);
+        let cs = app.store();
+        for idx in ss_array::MultiIndexIter::new(&[16, 4]) {
+            assert!((cs.read(&idx) - want.get(&idx)).abs() < 1e-9, "{idx:?}");
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Out-of-core transformation by chunks with SHIFT-SPLIT
+//! (Section 5.1, Results 1 and 2).
+//!
+//! Each chunk is small enough to transform in memory; its detail
+//! coefficients SHIFT to final positions and its average SPLITs into
+//! updates of coarser coefficients. The standard-form driver
+//! ([`transform_standard`]) and the plain non-standard driver
+//! ([`transform_nonstandard`]) fold every delta straight into tiled
+//! storage. The z-order driver ([`transform_nonstandard_zorder`]) adds the
+//! *crest cache* of Result 2: split contributions accumulate in a small
+//! in-memory map and are written exactly once, when the z-order walk
+//! completes the quad-tree node they belong to — bounding both extra memory
+//! (`(2^d − 1)·log(N/M) + 1` entries) and I/O (`O(N^d/B^d)` blocks total).
+
+use crate::source::ChunkSource;
+use ss_array::{MortonIter, MultiIndexIter};
+use ss_core::TilingMap;
+use ss_storage::{BlockStore, CoeffStore, IoStats};
+use std::collections::HashMap;
+
+/// Statistics of one out-of-core transform run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Chunks processed.
+    pub chunks: usize,
+    /// Input cells scanned (each charged as a coefficient read).
+    pub input_coeffs: u64,
+    /// Peak size of the crest cache (z-order non-standard driver only).
+    pub peak_crest_cache: usize,
+}
+
+/// Charges the input scan of one chunk to `stats`: every cell is a
+/// coefficient read, and the chunk arrives in block-sized units.
+fn charge_input(stats: &IoStats, cells: usize, block_capacity: usize) {
+    stats.add_coeff_reads(cells as u64);
+    stats.add_block_reads(cells.div_ceil(block_capacity) as u64);
+}
+
+/// Applies one chunk's delta batch tile-by-tile: deltas are sorted by tile
+/// ordinal so each affected tile is loaded at most once per chunk even with
+/// a single-block buffer pool — the access discipline the paper's per-chunk
+/// I/O analysis assumes.
+fn apply_sorted<M: TilingMap, S: BlockStore>(
+    cs: &mut CoeffStore<M, S>,
+    deltas: &mut Vec<(usize, usize, f64)>,
+) {
+    deltas.sort_unstable_by_key(|&(tile, slot, _)| (tile, slot));
+    let stats = cs.stats().clone();
+    for &(tile, slot, delta) in deltas.iter() {
+        stats.add_coeff_writes(1);
+        cs.pool().add(tile, slot, delta);
+    }
+    deltas.clear();
+}
+
+/// **Result 1** — standard-form out-of-core transform.
+///
+/// Iterates the chunk grid in row-major order; per chunk: in-memory
+/// standard transform, then the full SHIFT-SPLIT delta stream folded into
+/// `cs`. With tiled storage this costs
+/// `O(N^d/B · (1 + log_B(N/M)/M)^d)` blocks.
+///
+/// `cold_cache_per_chunk` clears the store's buffer pool between chunks so
+/// the measured I/O matches the paper's per-chunk analysis exactly (no
+/// cross-chunk tile reuse).
+pub fn transform_standard<M: TilingMap, S: BlockStore>(
+    src: &impl ChunkSource,
+    cs: &mut CoeffStore<M, S>,
+    cold_cache_per_chunk: bool,
+) -> TransformReport {
+    let n = src.domain_levels().to_vec();
+    let mut report = TransformReport::default();
+    let stats = cs.stats().clone();
+    let block_capacity = cs.map().block_capacity();
+    let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+    for block in MultiIndexIter::new(&src.grid()) {
+        let mut chunk = src.read_chunk(&block);
+        charge_input(&stats, chunk.len(), block_capacity);
+        ss_core::standard::forward(&mut chunk);
+        {
+            let map = cs.map();
+            ss_core::split::standard_deltas(&chunk, &n, &block, |idx, delta| {
+                let loc = map.locate(idx);
+                batch.push((loc.tile, loc.slot, delta));
+            });
+        }
+        apply_sorted(cs, &mut batch);
+        if cold_cache_per_chunk {
+            cs.clear_cache();
+        }
+        report.chunks += 1;
+        report.input_coeffs += chunk.len() as u64;
+    }
+    cs.flush();
+    report
+}
+
+/// Sparse variant of [`transform_standard`] (Section 5.1 discusses data
+/// with `z` non-zero values): all-zero chunks are skipped entirely — in a
+/// chunk-organised sparse store they are simply absent, so neither their
+/// input scan nor any output work is charged. I/O becomes proportional to
+/// the number of *occupied* chunks rather than the domain volume.
+pub fn transform_standard_sparse<M: TilingMap, S: BlockStore>(
+    src: &impl ChunkSource,
+    cs: &mut CoeffStore<M, S>,
+) -> TransformReport {
+    let n = src.domain_levels().to_vec();
+    let mut report = TransformReport::default();
+    let stats = cs.stats().clone();
+    let block_capacity = cs.map().block_capacity();
+    let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+    for block in MultiIndexIter::new(&src.grid()) {
+        let mut chunk = src.read_chunk(&block);
+        if chunk.as_slice().iter().all(|&v| v == 0.0) {
+            continue; // absent in a sparse chunk directory: zero I/O
+        }
+        charge_input(&stats, chunk.len(), block_capacity);
+        ss_core::standard::forward(&mut chunk);
+        {
+            let map = cs.map();
+            ss_core::split::standard_deltas(&chunk, &n, &block, |idx, delta| {
+                let loc = map.locate(idx);
+                batch.push((loc.tile, loc.slot, delta));
+            });
+        }
+        apply_sorted(cs, &mut batch);
+        report.chunks += 1;
+        report.input_coeffs += chunk.len() as u64;
+    }
+    cs.flush();
+    report
+}
+
+/// Non-standard out-of-core transform with a **row-major** chunk schedule:
+/// every split contribution is folded into storage immediately, costing
+/// `O(N^d/B^d + chunks · (2^d − 1) · log_B(N/M))` blocks.
+pub fn transform_nonstandard<M: TilingMap, S: BlockStore>(
+    src: &impl ChunkSource,
+    cs: &mut CoeffStore<M, S>,
+    cold_cache_per_chunk: bool,
+) -> TransformReport {
+    let (n, _m) = cubic_levels(src);
+    let mut report = TransformReport::default();
+    let stats = cs.stats().clone();
+    let block_capacity = cs.map().block_capacity();
+    let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+    for block in MultiIndexIter::new(&src.grid()) {
+        let mut chunk = src.read_chunk(&block);
+        charge_input(&stats, chunk.len(), block_capacity);
+        ss_core::nonstandard::forward(&mut chunk);
+        {
+            let map = cs.map();
+            ss_core::split::nonstandard_deltas(&chunk, n, &block, |idx, delta| {
+                let loc = map.locate(idx);
+                batch.push((loc.tile, loc.slot, delta));
+            });
+        }
+        apply_sorted(cs, &mut batch);
+        if cold_cache_per_chunk {
+            cs.clear_cache();
+        }
+        report.chunks += 1;
+        report.input_coeffs += chunk.len() as u64;
+    }
+    cs.flush();
+    report
+}
+
+/// **Result 2** — non-standard out-of-core transform with the z-order
+/// schedule and crest cache: optimal `O(N^d/B^d)` block I/O using
+/// `(2^d − 1)·log(N/M) + 1` extra memory.
+///
+/// Split contributions never touch the store while "hot": they accumulate
+/// in an in-memory map keyed by coefficient index, and a quad-tree node's
+/// `2^d − 1` coefficients are flushed (written once) the moment the z-order
+/// walk leaves its subtree.
+pub fn transform_nonstandard_zorder<M: TilingMap, S: BlockStore>(
+    src: &impl ChunkSource,
+    cs: &mut CoeffStore<M, S>,
+) -> TransformReport {
+    let (n, m) = cubic_levels(src);
+    let d = src.domain_levels().len();
+    let grid_bits = n - m;
+    let mut report = TransformReport::default();
+    let stats = cs.stats().clone();
+    let block_capacity = cs.map().block_capacity();
+    let mut crest: HashMap<Vec<usize>, f64> = HashMap::new();
+    let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+    for (rank, block) in MortonIter::new(d, grid_bits).enumerate() {
+        let mut chunk = src.read_chunk(&block);
+        charge_input(&stats, chunk.len(), block_capacity);
+        ss_core::nonstandard::forward(&mut chunk);
+        {
+            let map = cs.map();
+            ss_core::split::nonstandard_deltas(&chunk, n, &block, |idx, delta| {
+                // Shifted details land at levels ≤ m; split contributions at
+                // levels > m (or the overall average) go to the crest cache.
+                if is_split_target(n, m, idx) {
+                    *crest.entry(idx.to_vec()).or_insert(0.0) += delta;
+                } else {
+                    let loc = map.locate(idx);
+                    batch.push((loc.tile, loc.slot, delta));
+                }
+            });
+        }
+        apply_sorted(cs, &mut batch);
+        report.peak_crest_cache = report.peak_crest_cache.max(crest.len());
+        // Flush every quad-tree node whose subtree the z-order walk just
+        // completed: after chunk `rank`, level m+s is complete when
+        // (rank+1) is a multiple of 2^{d·s}.
+        for s in 1..=grid_bits {
+            if (rank + 1) % (1usize << (d as u32 * s)) != 0 {
+                break;
+            }
+            let node: Vec<usize> = block.iter().map(|&bq| bq >> s).collect();
+            for eps in 1usize..(1usize << d) {
+                let subband: Vec<bool> = (0..d).map(|t| (eps >> (d - 1 - t)) & 1 == 1).collect();
+                let idx = ss_core::nonstandard::index_of(
+                    n,
+                    &ss_core::nonstandard::NsCoeff::Detail {
+                        level: m + s,
+                        node: node.clone(),
+                        subband,
+                    },
+                );
+                if let Some(v) = crest.remove(&idx) {
+                    cs.add(&idx, v);
+                }
+            }
+        }
+        report.chunks += 1;
+        report.input_coeffs += chunk.len() as u64;
+    }
+    // The overall average (and, if the walk was trivial, any leftovers).
+    let mut leftovers: Vec<(Vec<usize>, f64)> = crest.drain().collect();
+    leftovers.sort_by(|a, b| a.0.cmp(&b.0));
+    for (idx, v) in leftovers {
+        cs.add(&idx, v);
+    }
+    cs.flush();
+    report
+}
+
+/// Like [`transform_nonstandard_zorder`], but additionally fills every
+/// tile's redundant scaling slot **during the pass**, leaving the store
+/// immediately ready for the single-block fast-path queries of
+/// `ss-query` — no
+/// `materialize_nonstandard_scalings` post-pass (and none of its
+/// `O(tiles · 2^d · log N)` coefficient reads).
+///
+/// In-chunk tile roots get their scaling from the chunk's own averaging
+/// pyramid; roots above the chunk level are computed by the same
+/// base-`2^d` carry accumulator that drives the crest flush.
+pub fn transform_nonstandard_zorder_scalings<S: BlockStore>(
+    src: &impl ChunkSource,
+    cs: &mut CoeffStore<ss_core::tiling::NonStandardTiling, S>,
+) -> TransformReport {
+    let (n, m) = cubic_levels(src);
+    let d = src.domain_levels().len();
+    let grid_bits = n - m;
+    let mut report = TransformReport::default();
+    let stats = cs.stats().clone();
+    let block_capacity = cs.map().block_capacity();
+    let mut crest: HashMap<Vec<usize>, f64> = HashMap::new();
+    let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+    // acc[s-1] accumulates the child averages of the open node at level
+    // m+s on the current z-order path.
+    let mut acc = vec![0.0f64; grid_bits as usize];
+    for (rank, block) in MortonIter::new(d, grid_bits).enumerate() {
+        let chunk = src.read_chunk(&block);
+        charge_input(&stats, chunk.len(), block_capacity);
+        // In-chunk averaging pyramid: level 0 = raw cells, level j = means
+        // of 2^{dj} cells. Fills scaling slots of tiles rooted inside the
+        // chunk's subtree.
+        let mut level_avgs = chunk.clone();
+        for j in 1..=m {
+            let side = 1usize << (m - j);
+            let prev = level_avgs;
+            level_avgs = NdArrayMean::halve(&prev, d);
+            for node_local in MultiIndexIter::new(&vec![side; d]) {
+                let node: Vec<usize> = node_local
+                    .iter()
+                    .zip(&block)
+                    .map(|(&q, &bq)| (bq << (m - j)) + q)
+                    .collect();
+                if let Some(tile) = cs.map().tile_of_root(j, &node) {
+                    let v = level_avgs.get(&node_local);
+                    batch.push((tile, 0, v));
+                }
+            }
+        }
+        let chunk_avg = level_avgs.get(&vec![0usize; d]);
+        let mut t = chunk;
+        ss_core::nonstandard::forward(&mut t);
+        {
+            let map = cs.map();
+            ss_core::split::nonstandard_deltas(&t, n, &block, |idx, delta| {
+                if is_split_target(n, m, idx) {
+                    *crest.entry(idx.to_vec()).or_insert(0.0) += delta;
+                } else {
+                    let loc = map.locate(idx);
+                    batch.push((loc.tile, loc.slot, delta));
+                }
+            });
+        }
+        // Base-2^d carry: completed ancestor nodes get their average (and
+        // scaling slot, when they root a tile) as the walk leaves them.
+        let mut carry = chunk_avg;
+        for s in 1..=grid_bits {
+            acc[(s - 1) as usize] += carry;
+            if (rank + 1) % (1usize << (d as u32 * s)) != 0 {
+                break;
+            }
+            let node_avg = acc[(s - 1) as usize] / (1usize << d) as f64;
+            acc[(s - 1) as usize] = 0.0;
+            let node: Vec<usize> = block.iter().map(|&bq| bq >> s).collect();
+            if m + s < n {
+                if let Some(tile) = cs.map().tile_of_root(m + s, &node) {
+                    batch.push((tile, 0, node_avg));
+                }
+            }
+            // Flush the node's completed detail coefficients from the crest.
+            for eps in 1usize..(1usize << d) {
+                let subband: Vec<bool> = (0..d).map(|t| (eps >> (d - 1 - t)) & 1 == 1).collect();
+                let idx = ss_core::nonstandard::index_of(
+                    n,
+                    &ss_core::nonstandard::NsCoeff::Detail {
+                        level: m + s,
+                        node: node.clone(),
+                        subband,
+                    },
+                );
+                if let Some(v) = crest.remove(&idx) {
+                    let loc = cs.map().locate(&idx);
+                    batch.push((loc.tile, loc.slot, v));
+                }
+            }
+            carry = node_avg;
+        }
+        apply_sorted(cs, &mut batch);
+        report.peak_crest_cache = report.peak_crest_cache.max(crest.len());
+        report.chunks += 1;
+        report.input_coeffs += t.len() as u64;
+    }
+    let mut leftovers: Vec<(Vec<usize>, f64)> = crest.drain().collect();
+    leftovers.sort_by(|a, b| a.0.cmp(&b.0));
+    for (idx, v) in leftovers {
+        cs.add(&idx, v);
+    }
+    cs.flush();
+    report
+}
+
+/// Pairwise mean-pooling helper for the in-chunk averaging pyramid.
+struct NdArrayMean;
+
+impl NdArrayMean {
+    fn halve(a: &ss_array::NdArray<f64>, d: usize) -> ss_array::NdArray<f64> {
+        let side = a.shape().dim(0) / 2;
+        let out_shape = ss_array::Shape::cube(d, side.max(1));
+        ss_array::NdArray::from_fn(out_shape, |idx| {
+            let mut sum = 0.0;
+            let mut child = vec![0usize; d];
+            for corner in 0..(1usize << d) {
+                for t in 0..d {
+                    child[t] = 2 * idx[t] + ((corner >> (d - 1 - t)) & 1);
+                }
+                sum += a.get(&child);
+            }
+            sum / (1usize << d) as f64
+        })
+    }
+}
+
+/// `true` when `idx` addresses a coefficient produced by SPLIT (level above
+/// the chunk level `m`, or the overall average) rather than by SHIFT.
+fn is_split_target(n: u32, m: u32, idx: &[usize]) -> bool {
+    match ss_core::nonstandard::coeff_at(n, idx) {
+        ss_core::nonstandard::NsCoeff::Scaling => true,
+        ss_core::nonstandard::NsCoeff::Detail { level, .. } => level > m,
+    }
+}
+
+/// Validates that the source is a hypercube with cubic chunks; returns
+/// `(n, m)`.
+fn cubic_levels(src: &impl ChunkSource) -> (u32, u32) {
+    let n = src.domain_levels();
+    let m = src.chunk_levels();
+    assert!(
+        n.windows(2).all(|w| w[0] == w[1]) && m.windows(2).all(|w| w[0] == w[1]),
+        "non-standard form requires cubic domain and chunks"
+    );
+    (n[0], m[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ArraySource;
+    use ss_array::{NdArray, Shape};
+    use ss_core::tiling::{NonStandardTiling, StandardTiling};
+    use ss_storage::wstore::mem_store;
+
+    fn sample(dims: &[usize]) -> NdArray<f64> {
+        NdArray::from_fn(Shape::new(dims), |idx| {
+            idx.iter()
+                .enumerate()
+                .map(|(t, &i)| ((i * (2 * t + 3)) % 13) as f64)
+                .sum::<f64>()
+                - 4.5
+        })
+    }
+
+    fn read_all<M: TilingMap, S: BlockStore>(
+        cs: &mut CoeffStore<M, S>,
+        dims: &[usize],
+    ) -> NdArray<f64> {
+        NdArray::from_fn(Shape::new(dims), |idx| cs.read(idx))
+    }
+
+    #[test]
+    fn standard_chunked_matches_direct() {
+        let a = sample(&[16, 16]);
+        let src = ArraySource::new(&a, &[2, 2]);
+        let mut cs = mem_store(StandardTiling::cube(2, 4, 2), 256, IoStats::new());
+        let report = transform_standard(&src, &mut cs, false);
+        assert_eq!(report.chunks, 16);
+        let got = read_all(&mut cs, &[16, 16]);
+        let want = ss_core::standard::forward_to(&a);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn standard_chunked_rectangular() {
+        let a = sample(&[8, 32]);
+        let src = ArraySource::new(&a, &[2, 3]);
+        let mut cs = mem_store(StandardTiling::new(&[3, 5], &[1, 2]), 256, IoStats::new());
+        transform_standard(&src, &mut cs, true);
+        let got = read_all(&mut cs, &[8, 32]);
+        let want = ss_core::standard::forward_to(&a);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn nonstandard_chunked_matches_direct() {
+        let a = sample(&[16, 16]);
+        let src = ArraySource::new(&a, &[2, 2]);
+        let mut cs = mem_store(NonStandardTiling::new(2, 4, 2), 256, IoStats::new());
+        transform_nonstandard(&src, &mut cs, false);
+        let got = read_all(&mut cs, &[16, 16]);
+        let want = ss_core::nonstandard::forward_to(&a);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn zorder_matches_direct_and_bounds_crest() {
+        let a = sample(&[16, 16]);
+        let src = ArraySource::new(&a, &[1, 1]);
+        let mut cs = mem_store(NonStandardTiling::new(2, 4, 2), 256, IoStats::new());
+        let report = transform_nonstandard_zorder(&src, &mut cs);
+        let got = read_all(&mut cs, &[16, 16]);
+        let want = ss_core::nonstandard::forward_to(&a);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+        // Crest bound: (2^d − 1) · (n − m) + 1 = 3·3 + 1.
+        assert!(
+            report.peak_crest_cache <= 3 * 3 + 1,
+            "peak {}",
+            report.peak_crest_cache
+        );
+    }
+
+    #[test]
+    fn zorder_3d_matches_direct() {
+        let a = sample(&[8, 8, 8]);
+        let src = ArraySource::new(&a, &[1, 1, 1]);
+        let mut cs = mem_store(NonStandardTiling::new(3, 3, 1), 512, IoStats::new());
+        let report = transform_nonstandard_zorder(&src, &mut cs);
+        let got = read_all(&mut cs, &[8, 8, 8]);
+        let want = ss_core::nonstandard::forward_to(&a);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+        assert!(report.peak_crest_cache <= 7 * 2 + 1);
+    }
+
+    #[test]
+    fn zorder_writes_each_split_target_once() {
+        // Compare coefficient writes between row-major (per-chunk split
+        // folds) and z-order (write-once crest): z-order must write fewer.
+        let a = sample(&[16, 16]);
+        let src = ArraySource::new(&a, &[1, 1]);
+
+        let stats_rm = IoStats::new();
+        let mut cs = mem_store(NonStandardTiling::new(2, 4, 2), 256, stats_rm.clone());
+        transform_nonstandard(&src, &mut cs, false);
+
+        let stats_z = IoStats::new();
+        let mut cs2 = mem_store(NonStandardTiling::new(2, 4, 2), 256, stats_z.clone());
+        transform_nonstandard_zorder(&src, &mut cs2);
+
+        assert!(
+            stats_z.snapshot().coeff_writes < stats_rm.snapshot().coeff_writes,
+            "z-order {} vs row-major {}",
+            stats_z.snapshot().coeff_writes,
+            stats_rm.snapshot().coeff_writes
+        );
+    }
+
+    #[test]
+    fn input_scan_is_charged() {
+        let a = sample(&[8, 8]);
+        let src = ArraySource::new(&a, &[1, 1]);
+        let stats = IoStats::new();
+        let mut cs = mem_store(StandardTiling::cube(2, 3, 1), 64, stats.clone());
+        let report = transform_standard(&src, &mut cs, false);
+        assert_eq!(report.input_coeffs, 64);
+        assert!(stats.snapshot().coeff_reads >= 64);
+    }
+
+    #[test]
+    fn zorder_with_scalings_matches_direct_and_fills_slots() {
+        let a = sample(&[16, 16]);
+        for chunk_levels in [1u32, 2] {
+            let src = ArraySource::new(&a, &[chunk_levels; 2]);
+            let mut cs = mem_store(NonStandardTiling::new(2, 4, 2), 256, IoStats::new());
+            transform_nonstandard_zorder_scalings(&src, &mut cs);
+            // Coefficients match the direct transform.
+            let want = ss_core::nonstandard::forward_to(&a);
+            for idx in ss_array::MultiIndexIter::new(&[16, 16]) {
+                assert!(
+                    (cs.read(&idx) - want.get(&idx)).abs() < 1e-9,
+                    "m={chunk_levels} {idx:?}"
+                );
+            }
+            // Every tile's scaling slot holds its root-node average.
+            for tile in 0..cs.map().num_tiles() {
+                let (j, node) = cs.map().tile_root(tile);
+                if j == 4 {
+                    continue; // top tile: slot 0 is the true overall average
+                }
+                let side = 1usize << j;
+                let lo = [node[0] * side, node[1] * side];
+                let hi = [lo[0] + side - 1, lo[1] + side - 1];
+                let want_avg = a.region_sum(&lo, &hi) / (side * side) as f64;
+                let got = cs.read_at(tile, 0);
+                assert!(
+                    (got - want_avg).abs() < 1e-9,
+                    "m={chunk_levels} tile {tile} root ({j},{node:?}): {got} vs {want_avg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_transform_matches_dense_and_costs_less() {
+        // A 32x32 domain with a single occupied 4x4 corner.
+        let mut a = NdArray::<f64>::zeros(Shape::cube(2, 32));
+        for idx in ss_array::MultiIndexIter::new(&[4, 4]) {
+            a.set(
+                &[idx[0] + 8, idx[1] + 16],
+                (idx[0] * 4 + idx[1]) as f64 + 1.0,
+            );
+        }
+        let src = ArraySource::new(&a, &[2, 2]);
+        let stats_d = IoStats::new();
+        let mut dense = mem_store(StandardTiling::cube(2, 5, 2), 256, stats_d.clone());
+        transform_standard(&src, &mut dense, false);
+        let d = stats_d.snapshot();
+        let stats_s = IoStats::new();
+        let mut sparse = mem_store(StandardTiling::cube(2, 5, 2), 256, stats_s.clone());
+        let report = transform_standard_sparse(&src, &mut sparse);
+        let s = stats_s.snapshot();
+        assert_eq!(report.chunks, 1, "only the occupied chunk processed");
+        for idx in ss_array::MultiIndexIter::new(&[32, 32]) {
+            assert!((dense.read(&idx) - sparse.read(&idx)).abs() < 1e-12);
+        }
+        // The dense driver already skips zero coefficients on the write
+        // side; the sparse win is the skipped input scan (z vs N^d reads).
+        assert_eq!(s.coeff_reads, 16, "read exactly one chunk");
+        assert!(
+            s.coeff_reads * 10 < d.coeff_reads && s.block_reads * 4 < d.block_reads,
+            "sparse {s} vs dense {d}"
+        );
+    }
+
+    #[test]
+    fn whole_domain_single_chunk_degenerates_to_direct() {
+        let a = sample(&[8, 8]);
+        let src = ArraySource::new(&a, &[3, 3]);
+        let mut cs = mem_store(StandardTiling::cube(2, 3, 1), 64, IoStats::new());
+        transform_standard(&src, &mut cs, false);
+        let got = read_all(&mut cs, &[8, 8]);
+        let want = ss_core::standard::forward_to(&a);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+}

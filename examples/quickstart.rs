@@ -1,0 +1,77 @@
+//! Quickstart: transform, query, update and reconstruct — all in the
+//! wavelet domain.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use shiftsplit::array::{NdArray, Shape};
+use shiftsplit::core::tiling::StandardTiling;
+use shiftsplit::core::{haar1d, split, standard};
+use shiftsplit::query;
+use shiftsplit::storage::{wstore::mem_store, IoStats};
+
+fn main() {
+    // --- 1. The paper's running example: a tiny 1-d Haar transform. ---
+    let mut v = vec![3.0, 5.0, 7.0, 5.0];
+    haar1d::forward(&mut v);
+    println!("DWT of [3, 5, 7, 5]      = {v:?}"); // [5, -1, -1, 1]
+
+    // --- 2. A 2-d dataset, transformed in the standard form. ---
+    let side = 64usize;
+    let data = NdArray::from_fn(Shape::cube(2, side), |idx| {
+        ((idx[0] as f64 - 32.0).powi(2) + (idx[1] as f64 - 32.0).powi(2)).sqrt()
+    });
+    let coeffs = standard::forward_to(&data);
+    println!(
+        "grand mean via DC coefficient = {:.4} (direct: {:.4})",
+        coeffs.get(&[0, 0]),
+        data.total() / data.len() as f64
+    );
+
+    // --- 3. Store the coefficients in disk tiles and query them. ---
+    let stats = IoStats::new();
+    let mut store = mem_store(StandardTiling::new(&[6, 6], &[2, 2]), 256, stats.clone());
+    for idx in shiftsplit::array::MultiIndexIter::new(&[side, side]) {
+        store.write(&idx, coeffs.get(&idx));
+    }
+    store.flush();
+    store.clear_cache();
+
+    stats.reset();
+    let value = query::point_standard(&mut store, &[6, 6], &[17, 42]);
+    println!(
+        "point (17,42) = {value:.4} using {} block reads",
+        stats.snapshot().block_reads
+    );
+
+    stats.reset();
+    let sum = query::range_sum_standard(&mut store, &[6, 6], &[8, 8], &[23, 39]);
+    println!(
+        "range-sum [8..23]x[8..39] = {sum:.2} using {} block reads (naive would scan {} cells)",
+        stats.snapshot().block_reads,
+        16 * 32
+    );
+
+    // --- 4. Batch-update a dyadic region *in the wavelet domain*. ---
+    // Add +10 to the 16x16 block at (16, 32) without reconstructing.
+    let delta = NdArray::from_fn(Shape::cube(2, 16), |_| 10.0);
+    let delta_t = standard::forward_to(&delta);
+    split::standard_deltas(&delta_t, &[6, 6], &[1, 2], |idx, d| {
+        store.add(idx, d);
+    });
+    store.flush();
+    let after = query::point_standard(&mut store, &[6, 6], &[17, 42]);
+    println!("point (17,42) after +10 block update = {after:.4}");
+    assert!((after - (value + 10.0)).abs() < 1e-9);
+
+    // --- 5. Partially reconstruct a region (Result 6). ---
+    stats.reset();
+    let region = query::reconstruct_box_standard(&mut store, &[6, 6], &[16, 32], &[19, 35]);
+    println!(
+        "reconstructed 4x4 region with {} coefficient reads; corner = {:.4}",
+        stats.snapshot().coeff_reads,
+        region.get(&[1, 3])
+    );
+    println!("done.");
+}
