@@ -18,9 +18,15 @@
 pub fn morton_encode(coords: &[usize], bits: u32) -> usize {
     let d = coords.len();
     let mut code = 0usize;
-    debug_assert!(
-        (bits as usize) * d <= usize::BITS as usize,
-        "morton code would overflow usize"
+    // A real assert, not debug_assert: in release builds an oversized
+    // `bits * d` would silently wrap and alias distinct cells to the same
+    // code, corrupting the z-order schedule (and with it the crest-cache
+    // flush discipline of the non-standard transform).
+    assert!(
+        (bits as usize)
+            .checked_mul(d)
+            .is_some_and(|total| total <= usize::BITS as usize),
+        "morton code of {d} coordinates x {bits} bits would overflow usize"
     );
     for b in (0..bits).rev() {
         for (axis, &c) in coords.iter().enumerate() {
@@ -63,9 +69,14 @@ impl MortonIter {
     /// axis.
     pub fn new(d: usize, bits: u32) -> Self {
         assert!(d >= 1);
-        let total = 1usize
-            .checked_shl(bits * d as u32)
-            .expect("morton grid too large");
+        // `bits * d` must be checked before the shift: a wrapped multiply
+        // would feed `checked_shl` a small, plausible-looking shift amount
+        // and the guard below would never fire.
+        let shift = (bits as usize)
+            .checked_mul(d)
+            .filter(|&s| s < usize::BITS as usize)
+            .expect("morton grid too large") as u32;
+        let total = 1usize.checked_shl(shift).expect("morton grid too large");
         MortonIter {
             next_code: 0,
             total,
@@ -146,6 +157,28 @@ mod tests {
                 assert_eq!(p, parent);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow usize")]
+    fn encode_rejects_code_width_overflow() {
+        // 3 coordinates x 32 bits = 96 > 64 code bits: must panic (in every
+        // build profile) instead of silently aliasing cells.
+        let _ = morton_encode(&[1, 2, 3], 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "morton grid too large")]
+    fn iter_rejects_code_width_overflow() {
+        let _ = MortonIter::new(3, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "morton grid too large")]
+    fn iter_rejects_wrapped_bit_product() {
+        // bits * d wraps u32 arithmetic (2^30 * 8 = 2^33); the guard must
+        // catch the wrap itself, not just large in-range products.
+        let _ = MortonIter::new(8, 1 << 30);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub fn create(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `ingest <store> --data values.csv [--chunk a,b,…]`
+/// `ingest <store> --data values.csv [--chunk a,b,…] [--workers N]`
 pub fn ingest(args: &Args) -> Result<(), String> {
     let path = args.pos(0, "store path")?;
     let mut ws = WsFile::open(Path::new(path))?;
@@ -53,7 +53,35 @@ pub fn ingest(args: &Args) -> Result<(), String> {
         None => ws.meta.levels.iter().map(|&n| n.min(3)).collect(),
     };
     let src = ArraySource::new(&data, &chunk_levels);
-    let report = ss_transform::transform_standard(&src, &mut ws.store, false);
+    let workers = match args.flag_opt("workers") {
+        Some(w) => Some(ss_transform::resolve_workers(
+            w.parse::<usize>()
+                .map_err(|e| format!("bad --workers: {e}"))?,
+        )),
+        None => None,
+    };
+    let (mut ws, report) = match workers {
+        Some(workers) => {
+            // Re-house the block file in a sharded, thread-safe pool for the
+            // duration of the transform, then hand it back to the serial pool.
+            let store_path = ws.path().to_path_buf();
+            let meta = ws.meta.clone();
+            let stats = ws.stats.clone();
+            let (map, blocks) = ws.store.into_parts();
+            let shared =
+                ss_storage::SharedCoeffStore::new(map, blocks, 1 << 10, workers, stats.clone());
+            let report = ss_transform::transform_standard_parallel(&src, &shared, workers);
+            let (map, blocks) = shared.into_parts();
+            (
+                WsFile::from_parts(meta, map, blocks, stats, &store_path),
+                report,
+            )
+        }
+        None => {
+            let report = ss_transform::transform_standard(&src, &mut ws.store, false);
+            (ws, report)
+        }
+    };
     ws.meta.filled = dims[ws.meta.axis];
     ws.save_meta()?;
     println!(

@@ -33,7 +33,8 @@ USAGE:
 
 COMMANDS:
   create  <store> --levels a,b,…   create an empty store (log2 sizes)
-  ingest  <store> --data FILE      transform a full dataset into the store
+  ingest  <store> --data FILE [--workers N]   transform a full dataset into the store
+          (--workers 0 = one worker per core; omit for the serial driver)
   point   <store> i,j,…            query one cell
   sum     <store> --lo … --hi …    range-sum query
   extract <store> --lo … --hi …    reconstruct a region
@@ -193,6 +194,46 @@ mod tests {
             delta.to_str().unwrap(),
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_ingest_matches_serial() {
+        // Two identical stores, one ingested serially and one with
+        // `--workers 4`: every cell must read back the same.
+        let dir = tmp_dir("par_ingest");
+        let data: Vec<String> = (0..16)
+            .map(|r| {
+                (0..16)
+                    .map(|c| (((r * 37 + c * 11) % 100) as f64).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let f = dir.join("data.csv");
+        std::fs::write(&f, data.join("\n")).unwrap();
+        let mut stores = Vec::new();
+        for (name, extra) in [("serial", &[][..]), ("par", &["--workers", "4"][..])] {
+            let store = dir.join(format!("{name}.ws"));
+            let store_s = store.to_str().unwrap().to_string();
+            run(&to_args(&[
+                "create", &store_s, "--levels", "4,4", "--tiles", "2,2",
+            ]))
+            .unwrap();
+            let mut args = vec!["ingest", &store_s, "--data", f.to_str().unwrap()];
+            args.extend_from_slice(extra);
+            run(&to_args(&args)).unwrap();
+            stores.push(store);
+        }
+        let mut serial = crate::wsfile::WsFile::open(&stores[0]).unwrap();
+        let mut par = crate::wsfile::WsFile::open(&stores[1]).unwrap();
+        for i in 0..16 {
+            for j in 0..16 {
+                let a = ss_query::point_standard(&mut serial.store, &serial.meta.levels, &[i, j]);
+                let b = ss_query::point_standard(&mut par.store, &par.meta.levels, &[i, j]);
+                assert!((a - b).abs() <= 1e-9, "cell ({i},{j}): {a} vs {b}");
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

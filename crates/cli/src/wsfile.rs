@@ -1,291 +1,7 @@
-//! Persistent wavelet-store files.
+//! Thin wrapper over the persistent store format.
 //!
-//! A store is a pair of files: `<name>` holds the tiled coefficient blocks
-//! (via [`FileBlockStore`]), `<name>.meta` a small `key = value` text header
-//! describing the geometry, so a store can be reopened across process runs:
-//!
-//! ```text
-//! format  = shiftsplit-ws
-//! version = 1
-//! levels  = 3,3,5        # per-axis log2 domain sizes
-//! tiles   = 2,2,2        # per-axis log2 tile sides
-//! filled  = 96           # cells filled along the append axis
-//! axis    = 2            # append axis
-//! ```
+//! The `.ws` format itself lives in `ss-storage` ([`ss_storage::wsfile`])
+//! so library users can create and open stores without going through the
+//! CLI; this module only re-exports the names the subcommands use.
 
-use ss_core::tiling::StandardTiling;
-use ss_core::TilingMap;
-use ss_storage::{CoeffStore, FileBlockStore, IoStats};
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
-
-/// Geometry and bookkeeping persisted in the `.meta` file.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Meta {
-    /// Per-axis `log2` domain sizes.
-    pub levels: Vec<u32>,
-    /// Per-axis `log2` tile sides.
-    pub tiles: Vec<u32>,
-    /// Cells filled along the append axis.
-    pub filled: usize,
-    /// The append axis.
-    pub axis: usize,
-}
-
-impl Meta {
-    /// Serialises to the textual header format.
-    pub fn to_text(&self) -> String {
-        let join = |v: &[u32]| {
-            v.iter()
-                .map(|x| x.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        let mut s = String::new();
-        let _ = writeln!(s, "format  = shiftsplit-ws");
-        let _ = writeln!(s, "version = 1");
-        let _ = writeln!(s, "levels  = {}", join(&self.levels));
-        let _ = writeln!(s, "tiles   = {}", join(&self.tiles));
-        let _ = writeln!(s, "filled  = {}", self.filled);
-        let _ = writeln!(s, "axis    = {}", self.axis);
-        s
-    }
-
-    /// Parses the textual header format.
-    pub fn from_text(text: &str) -> Result<Meta, String> {
-        let mut levels = None;
-        let mut tiles = None;
-        let mut filled = None;
-        let mut axis = None;
-        let mut format_ok = false;
-        for line in text.lines() {
-            let line = line.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("malformed meta line: {line}"))?;
-            let (key, value) = (key.trim(), value.trim());
-            match key {
-                "format" => format_ok = value == "shiftsplit-ws",
-                "version" => {
-                    if value != "1" {
-                        return Err(format!("unsupported version {value}"));
-                    }
-                }
-                "levels" => levels = Some(parse_u32_list(value)?),
-                "tiles" => tiles = Some(parse_u32_list(value)?),
-                "filled" => filled = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
-                "axis" => axis = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
-                other => return Err(format!("unknown meta key: {other}")),
-            }
-        }
-        if !format_ok {
-            return Err("not a shiftsplit-ws meta file".into());
-        }
-        let levels = levels.ok_or("missing levels")?;
-        let tiles = tiles.ok_or("missing tiles")?;
-        if levels.len() != tiles.len() {
-            return Err("levels/tiles rank mismatch".into());
-        }
-        Ok(Meta {
-            levels,
-            tiles,
-            filled: filled.ok_or("missing filled")?,
-            axis: axis.ok_or("missing axis")?,
-        })
-    }
-
-    /// Per-axis domain sizes.
-    pub fn dims(&self) -> Vec<usize> {
-        self.levels.iter().map(|&n| 1usize << n).collect()
-    }
-
-    /// The tiling map this geometry implies.
-    pub fn tiling(&self) -> StandardTiling {
-        StandardTiling::new(&self.levels, &self.tiles)
-    }
-}
-
-fn parse_u32_list(s: &str) -> Result<Vec<u32>, String> {
-    s.split(',')
-        .map(|p| p.trim().parse::<u32>().map_err(|e| e.to_string()))
-        .collect()
-}
-
-fn meta_path(path: &Path) -> PathBuf {
-    let mut p = path.as_os_str().to_owned();
-    p.push(".meta");
-    PathBuf::from(p)
-}
-
-/// An opened persistent store.
-pub struct WsFile {
-    /// Store geometry.
-    pub meta: Meta,
-    /// The tiled coefficient store over the blocks file.
-    pub store: CoeffStore<StandardTiling, FileBlockStore>,
-    /// Shared I/O counters (also threaded through `store`).
-    pub stats: IoStats,
-    path: PathBuf,
-}
-
-impl WsFile {
-    /// Creates a fresh, zeroed store (truncates existing files).
-    pub fn create(path: &Path, meta: Meta) -> Result<WsFile, String> {
-        let map = meta.tiling();
-        let stats = IoStats::new();
-        let blocks =
-            FileBlockStore::create(path, map.block_capacity(), map.num_tiles(), stats.clone())
-                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-        std::fs::write(meta_path(path), meta.to_text())
-            .map_err(|e| format!("cannot write meta: {e}"))?;
-        Ok(WsFile {
-            store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
-            meta,
-            stats,
-            path: path.to_path_buf(),
-        })
-    }
-
-    /// Opens an existing store.
-    pub fn open(path: &Path) -> Result<WsFile, String> {
-        let text = std::fs::read_to_string(meta_path(path))
-            .map_err(|e| format!("cannot read {}.meta: {e}", path.display()))?;
-        let meta = Meta::from_text(&text)?;
-        let map = meta.tiling();
-        let stats = IoStats::new();
-        let blocks =
-            FileBlockStore::open(path, map.block_capacity(), map.num_tiles(), stats.clone())
-                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-        Ok(WsFile {
-            store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
-            meta,
-            stats,
-            path: path.to_path_buf(),
-        })
-    }
-
-    /// Assembles a `WsFile` from already-opened parts (used by the CLI when
-    /// it needs the block store bound to a caller-provided `IoStats`).
-    pub fn from_parts(
-        meta: Meta,
-        map: StandardTiling,
-        blocks: FileBlockStore,
-        stats: IoStats,
-        path: &Path,
-    ) -> WsFile {
-        WsFile {
-            store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
-            meta,
-            stats,
-            path: path.to_path_buf(),
-        }
-    }
-
-    /// Persists updated metadata (after appends/expansions).
-    pub fn save_meta(&self) -> Result<(), String> {
-        std::fs::write(meta_path(&self.path), self.meta.to_text())
-            .map_err(|e| format!("cannot write meta: {e}"))
-    }
-
-    /// The blocks-file path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp(name: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("ss_wsfile_{name}_{}", std::process::id()))
-    }
-
-    #[test]
-    fn meta_roundtrip() {
-        let m = Meta {
-            levels: vec![3, 3, 5],
-            tiles: vec![2, 2, 2],
-            filled: 96,
-            axis: 2,
-        };
-        let parsed = Meta::from_text(&m.to_text()).unwrap();
-        assert_eq!(parsed, m);
-    }
-
-    #[test]
-    fn meta_rejects_garbage() {
-        assert!(Meta::from_text("hello").is_err());
-        assert!(
-            Meta::from_text("format = other\nlevels = 1\ntiles = 1\nfilled = 0\naxis = 0").is_err()
-        );
-        assert!(Meta::from_text("format = shiftsplit-ws\nversion = 9").is_err());
-    }
-
-    #[test]
-    fn truncated_blocks_file_is_rejected_on_open() {
-        // Simulates a crash mid-resize: the meta promises more blocks than
-        // the file holds. Open must fail loudly instead of serving zeros.
-        let path = tmp("truncated");
-        let meta = Meta {
-            levels: vec![3, 3],
-            tiles: vec![1, 1],
-            filled: 0,
-            axis: 1,
-        };
-        {
-            let mut ws = WsFile::create(&path, meta).unwrap();
-            ws.store.write(&[1, 1], 3.0);
-            ws.store.flush();
-        }
-        let len = std::fs::metadata(&path).unwrap().len();
-        std::fs::OpenOptions::new()
-            .write(true)
-            .open(&path)
-            .unwrap()
-            .set_len(len / 2)
-            .unwrap();
-        let err = match WsFile::open(&path) {
-            Err(e) => e,
-            Ok(_) => panic!("open must fail on a truncated store"),
-        };
-        assert!(err.contains("bytes"), "unexpected error: {err}");
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(meta_path(&path)).ok();
-    }
-
-    #[test]
-    fn missing_meta_is_rejected() {
-        let path = tmp("nometa");
-        std::fs::write(&path, vec![0u8; 64]).unwrap();
-        assert!(WsFile::open(&path).is_err());
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn create_write_reopen_read() {
-        let path = tmp("roundtrip");
-        let meta = Meta {
-            levels: vec![3, 3],
-            tiles: vec![1, 1],
-            filled: 8,
-            axis: 1,
-        };
-        {
-            let mut ws = WsFile::create(&path, meta.clone()).unwrap();
-            ws.store.write(&[2, 5], 42.5);
-            ws.store.flush();
-        }
-        {
-            let mut ws = WsFile::open(&path).unwrap();
-            assert_eq!(ws.meta, meta);
-            assert_eq!(ws.store.read(&[2, 5]), 42.5);
-            assert_eq!(ws.store.read(&[0, 0]), 0.0);
-        }
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(meta_path(&path)).ok();
-    }
-}
+pub use ss_storage::wsfile::{Meta, WsFile};

@@ -38,7 +38,11 @@ pub struct TileSlot {
 }
 
 /// A map from coefficient tuple indices to `(tile, slot)` locations.
-pub trait TilingMap {
+///
+/// Maps are immutable layout descriptors shared freely across worker
+/// threads (the parallel transform drivers call `locate` concurrently),
+/// hence the `Send + Sync` supertraits.
+pub trait TilingMap: Send + Sync {
     /// Dimensionality of coefficient indices.
     fn ndim(&self) -> usize;
     /// Coefficients per disk block.

@@ -11,21 +11,31 @@
 //!   coefficient accesses,
 //! * [`BufferPool`] — an LRU cache over a block store with a configurable
 //!   budget in blocks, modelling the paper's "available memory `M^d`",
+//! * [`ShardedBufferPool`] / [`SharedCoeffStore`] — the thread-safe
+//!   counterparts used by the parallel transform drivers: the block-id
+//!   space is sharded over independently locked LRU caches with per-shard
+//!   hit/miss/eviction/write-back counters,
 //! * [`CoeffStore`] — wavelet coefficients mapped onto blocks through any
 //!   [`TilingMap`](ss_core::TilingMap) (subtree tiles or the naive row-major
 //!   baseline), the object every out-of-core algorithm in `ss-transform`
-//!   and every query in `ss-query` runs against.
+//!   and every query in `ss-query` runs against,
+//! * [`WsFile`] — the persistent `.ws` store format (blocks file plus a
+//!   `.meta` text header), openable by any library user, not just the CLI.
 
 pub mod block;
 pub mod file;
 pub mod mem;
 pub mod pool;
+pub mod shard;
 pub mod stats;
+pub mod wsfile;
 pub mod wstore;
 
 pub use block::BlockStore;
 pub use file::FileBlockStore;
 pub use mem::MemBlockStore;
 pub use pool::BufferPool;
+pub use shard::{mem_shared_store, ShardCounters, ShardedBufferPool, SharedCoeffStore};
 pub use stats::{IoSnapshot, IoStats};
+pub use wsfile::{Meta, WsFile};
 pub use wstore::CoeffStore;

@@ -8,6 +8,7 @@
 //! analyses use.
 
 use crate::block::BlockStore;
+use crate::stats::IoStats;
 use std::collections::HashMap;
 
 /// LRU cache of blocks with write-back semantics.
@@ -16,23 +17,26 @@ pub struct BufferPool<S: BlockStore> {
     budget: usize,
     frames: HashMap<usize, Frame>,
     clock: u64,
+    stats: IoStats,
 }
 
-struct Frame {
-    data: Vec<f64>,
-    dirty: bool,
-    last_used: u64,
+pub(crate) struct Frame {
+    pub(crate) data: Vec<f64>,
+    pub(crate) dirty: bool,
+    pub(crate) last_used: u64,
 }
 
 impl<S: BlockStore> BufferPool<S> {
     /// Wraps `store` with a cache of at most `budget` blocks (`budget ≥ 1`).
-    pub fn new(store: S, budget: usize) -> Self {
+    /// Cache hits/misses/evictions/write-backs are recorded in `stats`.
+    pub fn new(store: S, budget: usize, stats: IoStats) -> Self {
         assert!(budget >= 1, "buffer pool needs at least one frame");
         BufferPool {
             store,
             budget,
             frames: HashMap::new(),
             clock: 0,
+            stats,
         }
     }
 
@@ -97,6 +101,7 @@ impl<S: BlockStore> BufferPool<S> {
             let frame = self.frames.get_mut(&id).expect("dirty frame");
             self.store.write_block(id, &frame.data);
             frame.dirty = false;
+            self.stats.add_pool_writebacks(1);
         }
     }
 
@@ -133,8 +138,10 @@ impl<S: BlockStore> BufferPool<S> {
         let clock = self.clock;
         if let Some(frame) = self.frames.get_mut(&id) {
             frame.last_used = clock;
+            self.stats.add_pool_hits(1);
             return;
         }
+        self.stats.add_pool_misses(1);
         if self.frames.len() >= self.budget {
             self.evict_lru();
         }
@@ -158,8 +165,10 @@ impl<S: BlockStore> BufferPool<S> {
             .map(|(&id, _)| id)
             .expect("evict on empty pool");
         let frame = self.frames.remove(&victim).expect("victim exists");
+        self.stats.add_pool_evictions(1);
         if frame.dirty {
             self.store.write_block(victim, &frame.data);
+            self.stats.add_pool_writebacks(1);
         }
     }
 }
@@ -173,7 +182,7 @@ mod tests {
     fn pool(blocks: usize, budget: usize) -> (BufferPool<MemBlockStore>, IoStats) {
         let stats = IoStats::new();
         let store = MemBlockStore::new(4, blocks, stats.clone());
-        (BufferPool::new(store, budget), stats)
+        (BufferPool::new(store, budget, stats.clone()), stats)
     }
 
     #[test]
@@ -241,6 +250,24 @@ mod tests {
         let mut buf = vec![0.0; 4];
         store.read_block(1, &mut buf);
         assert_eq!(buf[3], 7.0);
+    }
+
+    #[test]
+    fn pool_counters_track_hits_misses_evictions() {
+        let (mut p, stats) = pool(8, 2);
+        p.read(0, 0); // miss
+        p.read(0, 1); // hit
+        p.write(1, 0, 2.0); // miss
+        p.read(2, 0); // miss, evicts clean block 0
+        p.read(3, 0); // miss, evicts dirty block 1 (write-back)
+        let s = stats.snapshot();
+        assert_eq!(s.pool_hits, 1);
+        assert_eq!(s.pool_misses, 4);
+        assert_eq!(s.pool_accesses(), 5);
+        assert_eq!(s.pool_evictions, 2);
+        assert_eq!(s.pool_writebacks, 1);
+        // Every block write the store saw was a pool write-back.
+        assert_eq!(s.block_writes, s.pool_writebacks);
     }
 
     #[test]

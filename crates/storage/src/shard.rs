@@ -1,0 +1,514 @@
+//! A thread-safe, sharded buffer pool and the shared coefficient store
+//! built on it.
+//!
+//! The serial [`BufferPool`](crate::BufferPool) is `&mut self` throughout:
+//! one caller, one cache. The parallel transform drivers in `ss-transform`
+//! instead want many workers applying coefficient deltas *concurrently*
+//! against one bounded cache. [`ShardedBufferPool`] provides that: the
+//! block-id space is partitioned across `num_shards` independently locked
+//! LRU shards, so two workers touching different shards never contend.
+//! The backing [`BlockStore`] sits behind its own mutex and is only locked
+//! on a miss, an eviction of a dirty frame, or a flush.
+//!
+//! Lock ordering is strictly *shard → store* (a shard lock may be held
+//! while the store lock is taken, never the reverse, and no operation
+//! holds two shard locks at once), so the pool is deadlock-free by
+//! construction.
+//!
+//! Every shard keeps local hit/miss/eviction/write-back counters (read
+//! them with [`ShardedBufferPool::shard_counters`]) and mirrors each event
+//! into the shared [`IoStats`], where the totals appear in
+//! [`IoSnapshot`](crate::IoSnapshot) next to the block/coefficient
+//! counters the experiments report.
+
+use crate::block::BlockStore;
+use crate::pool::Frame;
+use crate::stats::IoStats;
+use ss_core::TilingMap;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Per-shard cache event counters (a copy; see
+/// [`ShardedBufferPool::shard_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Accesses served from a cached frame.
+    pub hits: u64,
+    /// Accesses that read the backing store.
+    pub misses: u64,
+    /// Frames evicted to respect the shard budget.
+    pub evictions: u64,
+    /// Dirty frames written back (eviction or flush).
+    pub writebacks: u64,
+}
+
+struct Shard {
+    frames: HashMap<usize, Frame>,
+    clock: u64,
+    counters: ShardCounters,
+}
+
+/// A write-back LRU block cache usable from many threads at once.
+pub struct ShardedBufferPool<S: BlockStore> {
+    shards: Vec<Mutex<Shard>>,
+    store: Mutex<S>,
+    shard_budget: usize,
+    block_capacity: usize,
+    num_blocks: usize,
+    stats: IoStats,
+}
+
+impl<S: BlockStore> ShardedBufferPool<S> {
+    /// Wraps `store` with `num_shards` LRU shards sharing a total cache
+    /// budget of `budget` blocks (each shard gets `max(1, budget /
+    /// num_shards)` frames). Cache events are recorded in `stats`.
+    pub fn new(store: S, budget: usize, num_shards: usize, stats: IoStats) -> Self {
+        assert!(num_shards >= 1, "sharded pool needs at least one shard");
+        assert!(budget >= 1, "buffer pool needs at least one frame");
+        let shard_budget = (budget / num_shards).max(1);
+        let shards = (0..num_shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    frames: HashMap::new(),
+                    clock: 0,
+                    counters: ShardCounters::default(),
+                })
+            })
+            .collect();
+        ShardedBufferPool {
+            shards,
+            shard_budget,
+            block_capacity: store.block_capacity(),
+            num_blocks: store.num_blocks(),
+            store: Mutex::new(store),
+            stats,
+        }
+    }
+
+    /// Number of independently locked shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cache budget per shard, in blocks.
+    pub fn shard_budget(&self) -> usize {
+        self.shard_budget
+    }
+
+    /// Total cache budget, in blocks.
+    pub fn budget(&self) -> usize {
+        self.shard_budget * self.shards.len()
+    }
+
+    /// Blocks currently cached across all shards.
+    pub fn cached_blocks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().frames.len())
+            .sum()
+    }
+
+    /// Coefficients per block.
+    pub fn block_capacity(&self) -> usize {
+        self.block_capacity
+    }
+
+    /// Number of blocks in the underlying store.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// A copy of each shard's local counters, indexed by shard.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().counters)
+            .collect()
+    }
+
+    fn shard_of(&self, id: usize) -> usize {
+        // Adjacent tile ids round-robin across shards, so the contiguous
+        // tile ranges a chunk touches spread over many locks.
+        id % self.shards.len()
+    }
+
+    /// Reads one coefficient of block `id`.
+    pub fn read(&self, id: usize, slot: usize) -> f64 {
+        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        self.frame_mut(&mut shard, id).data[slot]
+    }
+
+    /// Overwrites one coefficient of block `id`.
+    pub fn write(&self, id: usize, slot: usize, value: f64) {
+        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let frame = self.frame_mut(&mut shard, id);
+        frame.data[slot] = value;
+        frame.dirty = true;
+    }
+
+    /// Adds `delta` to one coefficient of block `id`.
+    pub fn add(&self, id: usize, slot: usize, delta: f64) {
+        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let frame = self.frame_mut(&mut shard, id);
+        frame.data[slot] += delta;
+        frame.dirty = true;
+    }
+
+    /// Runs `f` over the whole cached block `id` under a single shard
+    /// lock (marking it dirty when `mutate` is true). This is how the
+    /// parallel drivers apply a chunk's per-tile delta batches: one lock
+    /// acquisition per tile, not per coefficient.
+    pub fn with_block<R>(&self, id: usize, mutate: bool, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let frame = self.frame_mut(&mut shard, id);
+        if mutate {
+            frame.dirty = true;
+        }
+        f(&mut frame.data)
+    }
+
+    /// Writes every dirty block back to the store, keeping the cache warm.
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let mut ids: Vec<usize> = shard
+                .frames
+                .iter()
+                .filter(|(_, fr)| fr.dirty)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            if ids.is_empty() {
+                continue;
+            }
+            let mut store = self.store.lock().unwrap();
+            for id in ids {
+                let frame = shard.frames.get_mut(&id).expect("dirty frame");
+                store.write_block(id, &frame.data);
+                frame.dirty = false;
+                shard.counters.writebacks += 1;
+                self.stats.add_pool_writebacks(1);
+            }
+        }
+    }
+
+    /// Flushes and drops every cached block.
+    pub fn clear(&self) {
+        self.flush();
+        for shard in &self.shards {
+            shard.lock().unwrap().frames.clear();
+        }
+    }
+
+    /// Flushes and returns the wrapped store.
+    pub fn into_store(self) -> S {
+        self.flush();
+        self.store.into_inner().unwrap()
+    }
+
+    /// Locates (loading on miss, evicting as needed) the frame for `id`
+    /// within its already-locked shard. Lock order: the caller holds the
+    /// shard lock; the store lock is taken strictly inside it.
+    fn frame_mut<'a>(&self, shard: &'a mut Shard, id: usize) -> &'a mut Frame {
+        shard.clock += 1;
+        let clock = shard.clock;
+        if shard.frames.contains_key(&id) {
+            shard.counters.hits += 1;
+            self.stats.add_pool_hits(1);
+            let frame = shard.frames.get_mut(&id).expect("frame just found");
+            frame.last_used = clock;
+            return frame;
+        }
+        shard.counters.misses += 1;
+        self.stats.add_pool_misses(1);
+        if shard.frames.len() >= self.shard_budget {
+            let victim = shard
+                .frames
+                .iter()
+                .min_by_key(|(_, fr)| fr.last_used)
+                .map(|(&vid, _)| vid)
+                .expect("evict on empty shard");
+            let frame = shard.frames.remove(&victim).expect("victim exists");
+            shard.counters.evictions += 1;
+            self.stats.add_pool_evictions(1);
+            if frame.dirty {
+                self.store.lock().unwrap().write_block(victim, &frame.data);
+                shard.counters.writebacks += 1;
+                self.stats.add_pool_writebacks(1);
+            }
+        }
+        let mut data = vec![0.0; self.block_capacity];
+        self.store.lock().unwrap().read_block(id, &mut data);
+        shard.frames.insert(
+            id,
+            Frame {
+                data,
+                dirty: false,
+                last_used: clock,
+            },
+        );
+        shard.frames.get_mut(&id).expect("frame just inserted")
+    }
+}
+
+/// Wavelet coefficients mapped onto a [`ShardedBufferPool`] through a
+/// [`TilingMap`] — the `&self` counterpart of
+/// [`CoeffStore`](crate::CoeffStore), shared by reference across the
+/// worker threads of the parallel transform drivers.
+pub struct SharedCoeffStore<M: TilingMap, S: BlockStore> {
+    map: M,
+    pool: ShardedBufferPool<S>,
+    stats: IoStats,
+}
+
+impl<M: TilingMap, S: BlockStore> SharedCoeffStore<M, S> {
+    /// Builds a shared store over `store` with layout `map`, a total cache
+    /// budget of `pool_budget` blocks split over `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block store's capacity differs from the map's, or
+    /// when the store has fewer blocks than the map needs.
+    pub fn new(map: M, store: S, pool_budget: usize, num_shards: usize, stats: IoStats) -> Self {
+        assert_eq!(
+            store.block_capacity(),
+            map.block_capacity(),
+            "block capacity mismatch between store and tiling map"
+        );
+        assert!(
+            store.num_blocks() >= map.num_tiles(),
+            "store has {} blocks, map needs {}",
+            store.num_blocks(),
+            map.num_tiles()
+        );
+        SharedCoeffStore {
+            map,
+            pool: ShardedBufferPool::new(store, pool_budget, num_shards, stats.clone()),
+            stats,
+        }
+    }
+
+    /// The tiling map.
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Reads the coefficient at tuple index `idx`.
+    pub fn read(&self, idx: &[usize]) -> f64 {
+        let loc = self.map.locate(idx);
+        self.stats.add_coeff_reads(1);
+        self.pool.read(loc.tile, loc.slot)
+    }
+
+    /// Overwrites the coefficient at `idx`.
+    pub fn write(&self, idx: &[usize], value: f64) {
+        let loc = self.map.locate(idx);
+        self.stats.add_coeff_writes(1);
+        self.pool.write(loc.tile, loc.slot, value);
+    }
+
+    /// Adds `delta` to the coefficient at `idx`.
+    pub fn add(&self, idx: &[usize], delta: f64) {
+        let loc = self.map.locate(idx);
+        self.stats.add_coeff_writes(1);
+        self.pool.add(loc.tile, loc.slot, delta);
+    }
+
+    /// Adds a batch of `(slot, delta)` updates to one tile under a single
+    /// shard lock. The parallel drivers group each chunk's deltas by tile
+    /// and apply them through this.
+    pub fn apply_tile(&self, tile: usize, updates: &[(usize, f64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        self.stats.add_coeff_writes(updates.len() as u64);
+        self.pool.with_block(tile, true, |blk| {
+            for &(slot, delta) in updates {
+                blk[slot] += delta;
+            }
+        });
+    }
+
+    /// Applies a `(tile, slot, delta)` batch: sorted by tile so each
+    /// affected tile is locked (and, on a miss, loaded) at most once per
+    /// batch — the per-chunk access discipline of the serial drivers,
+    /// preserved under concurrency. Clears `deltas`.
+    pub fn apply_batch(&self, deltas: &mut Vec<(usize, usize, f64)>) {
+        deltas.sort_unstable_by_key(|&(tile, slot, _)| (tile, slot));
+        let mut i = 0;
+        while i < deltas.len() {
+            let tile = deltas[i].0;
+            let mut j = i;
+            while j < deltas.len() && deltas[j].0 == tile {
+                j += 1;
+            }
+            self.stats.add_coeff_writes((j - i) as u64);
+            self.pool.with_block(tile, true, |blk| {
+                for &(_, slot, delta) in &deltas[i..j] {
+                    blk[slot] += delta;
+                }
+            });
+            i = j;
+        }
+        deltas.clear();
+    }
+
+    /// Writes every dirty cached block back.
+    pub fn flush(&self) {
+        self.pool.flush();
+    }
+
+    /// Direct access to the underlying sharded pool.
+    pub fn pool(&self) -> &ShardedBufferPool<S> {
+        &self.pool
+    }
+
+    /// Decomposes into map and (flushed) store.
+    pub fn into_parts(self) -> (M, S) {
+        let SharedCoeffStore { map, pool, .. } = self;
+        (map, pool.into_store())
+    }
+}
+
+/// Convenience: an in-memory shared tiled store sized for `map`.
+pub fn mem_shared_store<M: TilingMap>(
+    map: M,
+    pool_budget: usize,
+    num_shards: usize,
+    stats: IoStats,
+) -> SharedCoeffStore<M, crate::mem::MemBlockStore> {
+    let store =
+        crate::mem::MemBlockStore::new(map.block_capacity(), map.num_tiles(), stats.clone());
+    SharedCoeffStore::new(map, store, pool_budget, num_shards, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBlockStore;
+    use ss_core::Tiling1d;
+
+    fn pool(
+        blocks: usize,
+        budget: usize,
+        shards: usize,
+    ) -> (ShardedBufferPool<MemBlockStore>, IoStats) {
+        let stats = IoStats::new();
+        let store = MemBlockStore::new(4, blocks, stats.clone());
+        (
+            ShardedBufferPool::new(store, budget, shards, stats.clone()),
+            stats,
+        )
+    }
+
+    #[test]
+    fn read_write_roundtrip_through_shards() {
+        let (p, _) = pool(16, 8, 4);
+        for id in 0..16 {
+            p.write(id, id % 4, id as f64 + 0.5);
+        }
+        for id in 0..16 {
+            assert_eq!(p.read(id, id % 4), id as f64 + 0.5);
+        }
+    }
+
+    #[test]
+    fn values_survive_eviction_pressure() {
+        // Budget of 1 frame per shard forces constant eviction traffic.
+        let (p, _) = pool(16, 4, 4);
+        for id in 0..16 {
+            p.add(id, 0, id as f64);
+            p.add(id, 0, 1.0);
+        }
+        let mut store = p.into_store();
+        let mut buf = vec![0.0; 4];
+        for id in 0..16 {
+            store.read_block(id, &mut buf);
+            assert_eq!(buf[0], id as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn shard_counters_reconcile_with_global_stats() {
+        let (p, stats) = pool(16, 4, 4);
+        for id in 0..16 {
+            p.write(id, 0, 1.0); // 16 misses, evictions past each shard's 1-frame budget
+        }
+        for id in 0..4 {
+            p.read(id + 12, 0); // 4 hits (last resident per shard)
+        }
+        p.flush();
+        let per_shard = p.shard_counters();
+        let snap = stats.snapshot();
+        assert_eq!(
+            per_shard.iter().map(|c| c.hits).sum::<u64>(),
+            snap.pool_hits
+        );
+        assert_eq!(
+            per_shard.iter().map(|c| c.misses).sum::<u64>(),
+            snap.pool_misses
+        );
+        assert_eq!(
+            per_shard.iter().map(|c| c.evictions).sum::<u64>(),
+            snap.pool_evictions
+        );
+        assert_eq!(
+            per_shard.iter().map(|c| c.writebacks).sum::<u64>(),
+            snap.pool_writebacks
+        );
+        // All 16 dirty frames reached the store exactly once each.
+        assert_eq!(snap.block_writes, 16);
+        assert_eq!(snap.pool_writebacks, 16);
+    }
+
+    #[test]
+    fn concurrent_adds_accumulate_exactly() {
+        use std::sync::Arc;
+        let (p, _) = pool(8, 4, 4);
+        let p = Arc::new(p);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    for round in 0..100 {
+                        for id in 0..8 {
+                            p.add(id, round % 4, 1.0);
+                        }
+                    }
+                });
+            }
+        });
+        let p = Arc::try_unwrap(p).ok().expect("threads joined");
+        let mut store = p.into_store();
+        let mut buf = vec![0.0; 4];
+        for id in 0..8 {
+            store.read_block(id, &mut buf);
+            assert_eq!(buf.iter().sum::<f64>(), 400.0, "block {id}");
+        }
+    }
+
+    #[test]
+    fn shared_store_matches_serial_store() {
+        let stats = IoStats::new();
+        let shared = mem_shared_store(Tiling1d::new(4, 2), 8, 4, stats);
+        let serial_stats = IoStats::new();
+        let mut serial = crate::wstore::mem_store(Tiling1d::new(4, 2), 8, serial_stats);
+        for i in 0..16usize {
+            shared.write(&[i], (i * 3) as f64);
+            serial.write(&[i], (i * 3) as f64);
+        }
+        shared.apply_tile(0, &[(0, 1.25), (1, -0.5)]);
+        serial.pool().with_block(0, true, |blk| {
+            blk[0] += 1.25;
+            blk[1] += -0.5;
+        });
+        for i in 0..16usize {
+            assert_eq!(shared.read(&[i]), serial.read(&[i]), "index {i}");
+        }
+    }
+}

@@ -22,6 +22,10 @@ struct Counters {
     block_writes: AtomicU64,
     coeff_reads: AtomicU64,
     coeff_writes: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    pool_evictions: AtomicU64,
+    pool_writebacks: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -35,6 +39,14 @@ pub struct IoSnapshot {
     pub coeff_reads: u64,
     /// Individual coefficients written/updated through a `CoeffStore`.
     pub coeff_writes: u64,
+    /// Buffer-pool accesses served from a cached frame.
+    pub pool_hits: u64,
+    /// Buffer-pool accesses that had to read the backing store.
+    pub pool_misses: u64,
+    /// Frames evicted to stay within the pool budget.
+    pub pool_evictions: u64,
+    /// Dirty frames written back to the store (on eviction or flush).
+    pub pool_writebacks: u64,
 }
 
 impl IoSnapshot {
@@ -48,6 +60,11 @@ impl IoSnapshot {
         self.coeff_reads + self.coeff_writes
     }
 
+    /// Total buffer-pool accesses (hits + misses).
+    pub fn pool_accesses(&self) -> u64 {
+        self.pool_hits + self.pool_misses
+    }
+
     /// Counter-wise difference `self − earlier` (saturating).
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
@@ -55,6 +72,10 @@ impl IoSnapshot {
             block_writes: self.block_writes.saturating_sub(earlier.block_writes),
             coeff_reads: self.coeff_reads.saturating_sub(earlier.coeff_reads),
             coeff_writes: self.coeff_writes.saturating_sub(earlier.coeff_writes),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            pool_evictions: self.pool_evictions.saturating_sub(earlier.pool_evictions),
+            pool_writebacks: self.pool_writebacks.saturating_sub(earlier.pool_writebacks),
         }
     }
 }
@@ -63,8 +84,15 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "blocks: {}r/{}w, coeffs: {}r/{}w",
-            self.block_reads, self.block_writes, self.coeff_reads, self.coeff_writes
+            "blocks: {}r/{}w, coeffs: {}r/{}w, pool: {}h/{}m/{}e/{}wb",
+            self.block_reads,
+            self.block_writes,
+            self.coeff_reads,
+            self.coeff_writes,
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_evictions,
+            self.pool_writebacks
         )
     }
 }
@@ -99,6 +127,30 @@ impl IoStats {
         self.inner.coeff_writes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` buffer-pool cache hits.
+    #[inline]
+    pub fn add_pool_hits(&self, n: u64) {
+        self.inner.pool_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` buffer-pool cache misses.
+    #[inline]
+    pub fn add_pool_misses(&self, n: u64) {
+        self.inner.pool_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` buffer-pool frame evictions.
+    #[inline]
+    pub fn add_pool_evictions(&self, n: u64) {
+        self.inner.pool_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` dirty write-backs (eviction of a dirty frame, or flush).
+    #[inline]
+    pub fn add_pool_writebacks(&self, n: u64) {
+        self.inner.pool_writebacks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -106,6 +158,10 @@ impl IoStats {
             block_writes: self.inner.block_writes.load(Ordering::Relaxed),
             coeff_reads: self.inner.coeff_reads.load(Ordering::Relaxed),
             coeff_writes: self.inner.coeff_writes.load(Ordering::Relaxed),
+            pool_hits: self.inner.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.inner.pool_misses.load(Ordering::Relaxed),
+            pool_evictions: self.inner.pool_evictions.load(Ordering::Relaxed),
+            pool_writebacks: self.inner.pool_writebacks.load(Ordering::Relaxed),
         }
     }
 
@@ -115,6 +171,10 @@ impl IoStats {
         self.inner.block_writes.store(0, Ordering::Relaxed);
         self.inner.coeff_reads.store(0, Ordering::Relaxed);
         self.inner.coeff_writes.store(0, Ordering::Relaxed);
+        self.inner.pool_hits.store(0, Ordering::Relaxed);
+        self.inner.pool_misses.store(0, Ordering::Relaxed);
+        self.inner.pool_evictions.store(0, Ordering::Relaxed);
+        self.inner.pool_writebacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -167,7 +227,25 @@ mod tests {
     fn reset_zeroes() {
         let stats = IoStats::new();
         stats.add_coeff_reads(9);
+        stats.add_pool_misses(4);
         stats.reset();
         assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn pool_counters_accumulate_and_diff() {
+        let stats = IoStats::new();
+        stats.add_pool_hits(6);
+        stats.add_pool_misses(2);
+        let before = stats.snapshot();
+        assert_eq!(before.pool_accesses(), 8);
+        stats.add_pool_hits(1);
+        stats.add_pool_evictions(3);
+        stats.add_pool_writebacks(2);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.pool_hits, 1);
+        assert_eq!(delta.pool_misses, 0);
+        assert_eq!(delta.pool_evictions, 3);
+        assert_eq!(delta.pool_writebacks, 2);
     }
 }

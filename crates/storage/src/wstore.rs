@@ -40,7 +40,7 @@ impl<M: TilingMap, S: BlockStore> CoeffStore<M, S> {
         );
         CoeffStore {
             map,
-            pool: BufferPool::new(store, pool_budget),
+            pool: BufferPool::new(store, pool_budget, stats.clone()),
             stats,
         }
     }

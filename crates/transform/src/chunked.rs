@@ -31,7 +31,7 @@ pub struct TransformReport {
 
 /// Charges the input scan of one chunk to `stats`: every cell is a
 /// coefficient read, and the chunk arrives in block-sized units.
-fn charge_input(stats: &IoStats, cells: usize, block_capacity: usize) {
+pub(crate) fn charge_input(stats: &IoStats, cells: usize, block_capacity: usize) {
     stats.add_coeff_reads(cells as u64);
     stats.add_block_reads(cells.div_ceil(block_capacity) as u64);
 }
@@ -374,7 +374,7 @@ impl NdArrayMean {
 
 /// `true` when `idx` addresses a coefficient produced by SPLIT (level above
 /// the chunk level `m`, or the overall average) rather than by SHIFT.
-fn is_split_target(n: u32, m: u32, idx: &[usize]) -> bool {
+pub(crate) fn is_split_target(n: u32, m: u32, idx: &[usize]) -> bool {
     match ss_core::nonstandard::coeff_at(n, idx) {
         ss_core::nonstandard::NsCoeff::Scaling => true,
         ss_core::nonstandard::NsCoeff::Detail { level, .. } => level > m,
@@ -383,7 +383,7 @@ fn is_split_target(n: u32, m: u32, idx: &[usize]) -> bool {
 
 /// Validates that the source is a hypercube with cubic chunks; returns
 /// `(n, m)`.
-fn cubic_levels(src: &impl ChunkSource) -> (u32, u32) {
+pub(crate) fn cubic_levels(src: &impl ChunkSource) -> (u32, u32) {
     let n = src.domain_levels();
     let m = src.chunk_levels();
     assert!(

@@ -37,7 +37,7 @@ pub use chunked::{
     transform_nonstandard, transform_nonstandard_zorder, transform_nonstandard_zorder_scalings,
     transform_standard, transform_standard_sparse, TransformReport,
 };
-pub use par::transform_standard_parallel;
+pub use par::{resolve_workers, transform_nonstandard_parallel, transform_standard_parallel};
 pub use source::{ArraySource, ChunkSource, FnSource};
 pub use update::{update_box_pointwise, update_box_standard};
 pub use vitter::vitter_transform_standard;

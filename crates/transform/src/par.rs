@@ -2,73 +2,208 @@
 //!
 //! The SHIFT-SPLIT decomposition is embarrassingly parallel on the CPU
 //! side: chunks transform independently and their delta streams commute
-//! (addition). This driver shards the chunk grid across worker threads;
-//! each worker transforms its chunks and *accumulates* deltas into a
-//! local map keyed by `(tile, slot)` — merging the many per-chunk
-//! contributions to shared coarse coefficients for free — and the caller's
-//! thread then applies each worker's batch in sorted tile order.
+//! (addition). Both drivers here shard the chunk schedule across worker
+//! threads that fold deltas *concurrently* into one
+//! [`SharedCoeffStore`] — a sharded, independently locked buffer pool —
+//! rather than accumulating per-worker maps for a single-threaded merge.
+//! Each chunk's deltas are grouped by tile and applied under one shard
+//! lock per tile, so the serial drivers' per-chunk access discipline
+//! (each tile loaded at most once per chunk) survives parallelism.
 //!
-//! I/O accounting note: accumulating before applying means shared
-//! coefficients are written once per worker rather than once per chunk, so
-//! the measured write I/O is a *lower* bound on the serial drivers' (the
-//! experiments that validate the paper's per-chunk analyses use the serial
-//! drivers; this one exists to make wall-clock ingestion fast).
+//! [`transform_standard_parallel`] shards the row-major chunk grid by
+//! ordinal ranges. [`transform_nonstandard_parallel`] shards the
+//! *z-order* schedule of Result 2 by contiguous rank ranges; every worker
+//! keeps its own crest cache and flushes a quad-tree node the moment its
+//! subtree completes inside the worker's range, so each worker's cache
+//! still obeys the `(2^d − 1)·log(N/M) + 1` bound. A node whose subtree
+//! straddles a range boundary is written as partial sums by the workers
+//! that saw it — the folds commute, so the store converges to the serial
+//! result exactly.
+//!
+//! I/O accounting note: straddling nodes cost one extra coefficient
+//! write per extra worker, so the measured write I/O can exceed the
+//! serial z-order driver's by `O(workers · (2^d − 1) · log(N/M))` — the
+//! experiments that validate the paper's per-chunk analyses keep using
+//! the serial drivers; these exist to make wall-clock ingestion fast.
 
+use crate::chunked::{charge_input, cubic_levels, is_split_target, TransformReport};
 use crate::source::ChunkSource;
-use ss_array::Shape;
+use ss_array::{morton_decode, Shape};
 use ss_core::TilingMap;
-use ss_storage::{BlockStore, CoeffStore};
+use ss_storage::{BlockStore, SharedCoeffStore};
 use std::collections::HashMap;
 
-/// Parallel standard-form transform with `workers` threads
-/// (`0` = available parallelism).
-pub fn transform_standard_parallel<M, S>(
-    src: &(impl ChunkSource + Sync),
-    cs: &mut CoeffStore<M, S>,
-    workers: usize,
-) -> crate::chunked::TransformReport
-where
-    M: TilingMap + Sync,
-    S: BlockStore,
-{
-    let workers = if workers == 0 {
+/// Resolves a worker-count argument: `0` means "use the machine's
+/// available parallelism".
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
         workers
-    };
+    }
+}
+
+/// Parallel standard-form transform with `workers` threads
+/// (`0` = available parallelism). Matches [`transform_standard`]
+/// (crate::transform_standard) exactly — deltas commute.
+pub fn transform_standard_parallel<M, S>(
+    src: &(impl ChunkSource + Sync),
+    cs: &SharedCoeffStore<M, S>,
+    workers: usize,
+) -> TransformReport
+where
+    M: TilingMap,
+    S: BlockStore + Send,
+{
+    let workers = resolve_workers(workers);
     let n = src.domain_levels().to_vec();
     let grid = src.grid();
     let grid_shape = Shape::new(&grid);
     let total_chunks = grid_shape.len();
     let stats = cs.stats().clone();
     let block_capacity = cs.map().block_capacity();
-    let map = cs.map();
 
-    // Shard chunk ordinals round-robin-by-range across workers.
-    let batches: Vec<HashMap<(usize, usize), f64>> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let n = n.clone();
             let grid_shape = grid_shape.clone();
             let stats = stats.clone();
             handles.push(scope.spawn(move || {
-                let mut acc: HashMap<(usize, usize), f64> = HashMap::new();
+                let map = cs.map();
+                let mut batch: Vec<(usize, usize, f64)> = Vec::new();
                 let lo = total_chunks * w / workers;
                 let hi = total_chunks * (w + 1) / workers;
                 for ordinal in lo..hi {
                     let block = grid_shape.unoffset(ordinal);
                     let mut chunk = src.read_chunk(&block);
-                    stats.add_coeff_reads(chunk.len() as u64);
-                    stats.add_block_reads(chunk.len().div_ceil(block_capacity) as u64);
+                    charge_input(&stats, chunk.len(), block_capacity);
                     ss_core::standard::forward(&mut chunk);
                     ss_core::split::standard_deltas(&chunk, &n, &block, |idx, delta| {
                         let loc = map.locate(idx);
-                        *acc.entry((loc.tile, loc.slot)).or_insert(0.0) += delta;
+                        batch.push((loc.tile, loc.slot, delta));
                     });
+                    cs.apply_batch(&mut batch);
                 }
-                acc
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+
+    cs.flush();
+    TransformReport {
+        chunks: total_chunks,
+        input_coeffs: (total_chunks * src.chunk_len()) as u64,
+        peak_crest_cache: 0,
+    }
+}
+
+/// Parallel non-standard transform on the **z-order** schedule with
+/// `workers` threads (`0` = available parallelism).
+///
+/// The z-order rank space is split into contiguous per-worker ranges;
+/// each worker runs the Result 2 crest-cache discipline privately:
+/// split contributions accumulate in its local cache, and a quad-tree
+/// node's `2^d − 1` detail coefficients are written the moment the
+/// walk completes the node's subtree. A subtree that began *before* the
+/// worker's range still flushes at the same rank — the cache then holds
+/// a partial sum, and the worker(s) that processed the rest of the
+/// subtree contribute their own partials; the adds commute. Whatever
+/// remains at the end of a range (subtrees extending past it, the
+/// overall average) drains as sorted adds.
+///
+/// The returned [`TransformReport::peak_crest_cache`] is the *maximum
+/// over workers*, each of which respects the serial
+/// `(2^d − 1)·log(N/M) + 1` bound.
+pub fn transform_nonstandard_parallel<M, S>(
+    src: &(impl ChunkSource + Sync),
+    cs: &SharedCoeffStore<M, S>,
+    workers: usize,
+) -> TransformReport
+where
+    M: TilingMap,
+    S: BlockStore + Send,
+{
+    let workers = resolve_workers(workers);
+    let (n, m) = cubic_levels(src);
+    let d = src.domain_levels().len();
+    let grid_bits = n - m;
+    let code_bits = (grid_bits as usize)
+        .checked_mul(d)
+        .filter(|&b| b < usize::BITS as usize)
+        .expect("chunk grid too large for z-order codes") as u32;
+    let total_chunks = 1usize << code_bits;
+    let stats = cs.stats().clone();
+    let block_capacity = cs.map().block_capacity();
+
+    let per_worker: Vec<(u64, usize)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let stats = stats.clone();
+            handles.push(scope.spawn(move || {
+                let map = cs.map();
+                let lo = total_chunks * w / workers;
+                let hi = total_chunks * (w + 1) / workers;
+                let mut crest: HashMap<Vec<usize>, f64> = HashMap::new();
+                let mut batch: Vec<(usize, usize, f64)> = Vec::new();
+                let mut block = vec![0usize; d];
+                let mut input_coeffs = 0u64;
+                let mut peak = 0usize;
+                for rank in lo..hi {
+                    morton_decode(rank, grid_bits, &mut block);
+                    let mut chunk = src.read_chunk(&block);
+                    charge_input(&stats, chunk.len(), block_capacity);
+                    input_coeffs += chunk.len() as u64;
+                    ss_core::nonstandard::forward(&mut chunk);
+                    ss_core::split::nonstandard_deltas(&chunk, n, &block, |idx, delta| {
+                        if is_split_target(n, m, idx) {
+                            *crest.entry(idx.to_vec()).or_insert(0.0) += delta;
+                        } else {
+                            let loc = map.locate(idx);
+                            batch.push((loc.tile, loc.slot, delta));
+                        }
+                    });
+                    cs.apply_batch(&mut batch);
+                    peak = peak.max(crest.len());
+                    // Flush every node whose subtree the walk just left,
+                    // exactly as in the serial z-order driver. When the
+                    // subtree started before `lo` the cached value is a
+                    // partial sum; writing it is still correct (folds
+                    // commute) and keeps the cache within its bound.
+                    for s in 1..=grid_bits {
+                        if (rank + 1) % (1usize << (d as u32 * s)) != 0 {
+                            break;
+                        }
+                        let node: Vec<usize> = block.iter().map(|&bq| bq >> s).collect();
+                        for eps in 1usize..(1usize << d) {
+                            let subband: Vec<bool> =
+                                (0..d).map(|t| (eps >> (d - 1 - t)) & 1 == 1).collect();
+                            let idx = ss_core::nonstandard::index_of(
+                                n,
+                                &ss_core::nonstandard::NsCoeff::Detail {
+                                    level: m + s,
+                                    node: node.clone(),
+                                    subband,
+                                },
+                            );
+                            if let Some(v) = crest.remove(&idx) {
+                                cs.add(&idx, v);
+                            }
+                        }
+                    }
+                }
+                // Subtrees extending past `hi` (and, for the last worker,
+                // the overall average) drain as commuting adds.
+                let mut leftovers: Vec<(Vec<usize>, f64)> = crest.drain().collect();
+                leftovers.sort_by(|a, b| a.0.cmp(&b.0));
+                for (idx, v) in leftovers {
+                    cs.add(&idx, v);
+                }
+                (input_coeffs, peak)
             }));
         }
         handles
@@ -77,22 +212,12 @@ where
             .collect()
     });
 
-    // Apply each worker's accumulated batch in tile order (single writer).
-    let mut report = crate::chunked::TransformReport {
-        chunks: total_chunks,
-        ..Default::default()
-    };
-    for batch in batches {
-        let mut sorted: Vec<((usize, usize), f64)> = batch.into_iter().collect();
-        sorted.sort_unstable_by_key(|&(k, _)| k);
-        for ((tile, slot), delta) in sorted {
-            stats.add_coeff_writes(1);
-            cs.pool().add(tile, slot, delta);
-        }
-    }
     cs.flush();
-    report.input_coeffs = (total_chunks * src.chunk_len()) as u64;
-    report
+    TransformReport {
+        chunks: total_chunks,
+        input_coeffs: per_worker.iter().map(|&(c, _)| c).sum(),
+        peak_crest_cache: per_worker.iter().map(|&(_, p)| p).max().unwrap_or(0),
+    }
 }
 
 #[cfg(test)]
@@ -100,8 +225,8 @@ mod tests {
     use super::*;
     use crate::source::ArraySource;
     use ss_array::{MultiIndexIter, NdArray};
-    use ss_core::tiling::StandardTiling;
-    use ss_storage::{wstore::mem_store, IoStats};
+    use ss_core::tiling::{NonStandardTiling, StandardTiling};
+    use ss_storage::{mem_shared_store, IoStats};
 
     fn sample(side: usize) -> NdArray<f64> {
         NdArray::from_fn(Shape::cube(2, side), |idx| {
@@ -114,8 +239,13 @@ mod tests {
         let a = sample(64);
         let src = ArraySource::new(&a, &[3, 3]);
         for workers in [1usize, 2, 4, 7] {
-            let mut cs = mem_store(StandardTiling::new(&[6; 2], &[2; 2]), 512, IoStats::new());
-            let report = transform_standard_parallel(&src, &mut cs, workers);
+            let cs = mem_shared_store(
+                StandardTiling::new(&[6; 2], &[2; 2]),
+                512,
+                4,
+                IoStats::new(),
+            );
+            let report = transform_standard_parallel(&src, &cs, workers);
             assert_eq!(report.chunks, 64);
             let want = ss_core::standard::forward_to(&a);
             for idx in MultiIndexIter::new(&[64, 64]) {
@@ -131,10 +261,19 @@ mod tests {
     fn parallel_matches_serial_driver() {
         let a = sample(32);
         let src = ArraySource::new(&a, &[2, 2]);
-        let mut serial = mem_store(StandardTiling::new(&[5; 2], &[2; 2]), 512, IoStats::new());
+        let mut serial = ss_storage::wstore::mem_store(
+            StandardTiling::new(&[5; 2], &[2; 2]),
+            512,
+            IoStats::new(),
+        );
         crate::chunked::transform_standard(&src, &mut serial, false);
-        let mut parallel = mem_store(StandardTiling::new(&[5; 2], &[2; 2]), 512, IoStats::new());
-        transform_standard_parallel(&src, &mut parallel, 3);
+        let parallel = mem_shared_store(
+            StandardTiling::new(&[5; 2], &[2; 2]),
+            512,
+            8,
+            IoStats::new(),
+        );
+        transform_standard_parallel(&src, &parallel, 3);
         for idx in MultiIndexIter::new(&[32, 32]) {
             assert!((serial.read(&idx) - parallel.read(&idx)).abs() < 1e-9);
         }
@@ -144,8 +283,13 @@ mod tests {
     fn zero_workers_means_auto() {
         let a = sample(16);
         let src = ArraySource::new(&a, &[2, 2]);
-        let mut cs = mem_store(StandardTiling::new(&[4; 2], &[2; 2]), 256, IoStats::new());
-        transform_standard_parallel(&src, &mut cs, 0);
+        let cs = mem_shared_store(
+            StandardTiling::new(&[4; 2], &[2; 2]),
+            256,
+            4,
+            IoStats::new(),
+        );
+        transform_standard_parallel(&src, &cs, 0);
         let want = ss_core::standard::forward_to(&a);
         for idx in MultiIndexIter::new(&[16, 16]) {
             assert!((cs.read(&idx) - want.get(&idx)).abs() < 1e-9);
@@ -156,11 +300,45 @@ mod tests {
     fn more_workers_than_chunks_is_fine() {
         let a = sample(8);
         let src = ArraySource::new(&a, &[2, 2]); // 4 chunks
-        let mut cs = mem_store(StandardTiling::new(&[3; 2], &[1; 2]), 64, IoStats::new());
-        transform_standard_parallel(&src, &mut cs, 16);
+        let cs = mem_shared_store(StandardTiling::new(&[3; 2], &[1; 2]), 64, 2, IoStats::new());
+        transform_standard_parallel(&src, &cs, 16);
         let want = ss_core::standard::forward_to(&a);
         for idx in MultiIndexIter::new(&[8, 8]) {
             assert!((cs.read(&idx) - want.get(&idx)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nonstandard_parallel_matches_direct() {
+        let a = sample(16);
+        let src = ArraySource::new(&a, &[1, 1]); // 8x8 z-order grid
+        for workers in [1usize, 2, 3, 8] {
+            let cs = mem_shared_store(NonStandardTiling::new(2, 4, 2), 256, 4, IoStats::new());
+            let report = transform_nonstandard_parallel(&src, &cs, workers);
+            assert_eq!(report.chunks, 64);
+            let want = ss_core::nonstandard::forward_to(&a);
+            for idx in MultiIndexIter::new(&[16, 16]) {
+                assert!(
+                    (cs.read(&idx) - want.get(&idx)).abs() < 1e-9,
+                    "workers={workers} {idx:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonstandard_parallel_keeps_crest_bound_per_worker() {
+        let a = sample(32);
+        let src = ArraySource::new(&a, &[1, 1]); // 16x16 grid, grid_bits = 4
+        for workers in [1usize, 2, 4] {
+            let cs = mem_shared_store(NonStandardTiling::new(2, 5, 2), 512, 4, IoStats::new());
+            let report = transform_nonstandard_parallel(&src, &cs, workers);
+            // Serial bound: (2^d − 1)·(n − m) + 1 = 3·4 + 1.
+            assert!(
+                report.peak_crest_cache <= 3 * 4 + 1,
+                "workers={workers} peak {}",
+                report.peak_crest_cache
+            );
         }
     }
 }

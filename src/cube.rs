@@ -19,7 +19,9 @@
 use ss_array::NdArray;
 use ss_core::tiling::StandardTiling;
 use ss_core::TilingMap;
-use ss_storage::{BlockStore, CoeffStore, FileBlockStore, IoStats, MemBlockStore};
+use ss_storage::{
+    BlockStore, CoeffStore, FileBlockStore, IoStats, MemBlockStore, SharedCoeffStore,
+};
 use ss_transform::ArraySource;
 
 /// Builder for [`WaveletCube`].
@@ -126,7 +128,10 @@ impl WaveletCubeBuilder {
 /// A standard-form wavelet-transformed data cube on tiled block storage.
 pub struct WaveletCube<S: BlockStore = MemBlockStore> {
     levels: Vec<u32>,
-    cs: CoeffStore<StandardTiling, S>,
+    // `Option` only so `ingest_parallel` can move the store through a
+    // `SharedCoeffStore` and back; always `Some` between method calls.
+    cs: Option<CoeffStore<StandardTiling, S>>,
+    pool_blocks: usize,
     stats: IoStats,
     fast_point_ready: bool,
 }
@@ -147,11 +152,16 @@ impl<S: BlockStore> WaveletCube<S> {
         stats: IoStats,
     ) -> Self {
         WaveletCube {
-            cs: CoeffStore::new(map, store, pool_blocks, stats.clone()),
+            cs: Some(CoeffStore::new(map, store, pool_blocks, stats.clone())),
+            pool_blocks,
             levels,
             stats,
             fast_point_ready: false,
         }
+    }
+
+    fn cs(&mut self) -> &mut CoeffStore<StandardTiling, S> {
+        self.cs.as_mut().expect("coefficient store present")
     }
 
     /// Per-axis domain sizes.
@@ -177,37 +187,60 @@ impl<S: BlockStore> WaveletCube<S> {
         );
         let chunk_levels: Vec<u32> = self.levels.iter().map(|&n| n.min(3)).collect();
         let src = ArraySource::new(data, &chunk_levels);
-        ss_transform::transform_standard(&src, &mut self.cs, false);
+        ss_transform::transform_standard(&src, self.cs(), false);
         self.fast_point_ready = false;
     }
 
-    /// Parallel variant of [`WaveletCube::ingest`] (`0` workers = auto).
-    pub fn ingest_parallel(&mut self, data: &NdArray<f64>, workers: usize) {
+    /// Parallel variant of [`WaveletCube::ingest`] (`0` workers = auto):
+    /// the coefficient store is rehoused in a sharded, thread-safe buffer
+    /// pool for the duration of the transform, with one shard per worker.
+    pub fn ingest_parallel(&mut self, data: &NdArray<f64>, workers: usize)
+    where
+        S: Send,
+    {
         assert_eq!(data.shape().dims(), self.dims().as_slice());
         let chunk_levels: Vec<u32> = self.levels.iter().map(|&n| n.min(3)).collect();
         let src = ArraySource::new(data, &chunk_levels);
-        ss_transform::transform_standard_parallel(&src, &mut self.cs, workers);
+        let workers = ss_transform::resolve_workers(workers);
+        let (map, store) = self
+            .cs
+            .take()
+            .expect("coefficient store present")
+            .into_parts();
+        let shared =
+            SharedCoeffStore::new(map, store, self.pool_blocks, workers, self.stats.clone());
+        ss_transform::transform_standard_parallel(&src, &shared, workers);
+        let (map, store) = shared.into_parts();
+        self.cs = Some(CoeffStore::new(
+            map,
+            store,
+            self.pool_blocks,
+            self.stats.clone(),
+        ));
         self.fast_point_ready = false;
     }
 
     /// The value of one cell.
     pub fn point(&mut self, pos: &[usize]) -> f64 {
-        ss_query::point_standard(&mut self.cs, &self.levels, pos)
+        let cs = self.cs.as_mut().expect("coefficient store present");
+        ss_query::point_standard(cs, &self.levels, pos)
     }
 
     /// Single-block point query; materialises the tile scaling slots on
     /// first use (and again after any mutation).
     pub fn fast_point(&mut self, pos: &[usize]) -> f64 {
         if !self.fast_point_ready {
-            ss_query::materialize_standard_scalings(&mut self.cs, &self.levels);
+            let cs = self.cs.as_mut().expect("coefficient store present");
+            ss_query::materialize_standard_scalings(cs, &self.levels);
             self.fast_point_ready = true;
         }
-        ss_query::point_standard_fast(&mut self.cs, pos)
+        ss_query::point_standard_fast(self.cs(), pos)
     }
 
     /// Sum over the inclusive box `[lo, hi]`.
     pub fn sum(&mut self, lo: &[usize], hi: &[usize]) -> f64 {
-        ss_query::range_sum_standard(&mut self.cs, &self.levels, lo, hi)
+        let cs = self.cs.as_mut().expect("coefficient store present");
+        ss_query::range_sum_standard(cs, &self.levels, lo, hi)
     }
 
     /// Mean over the inclusive box `[lo, hi]`.
@@ -218,24 +251,27 @@ impl<S: BlockStore> WaveletCube<S> {
 
     /// Reconstructs the inclusive box `[lo, hi]`.
     pub fn extract(&mut self, lo: &[usize], hi: &[usize]) -> NdArray<f64> {
-        ss_query::reconstruct_box_standard(&mut self.cs, &self.levels, lo, hi)
+        let cs = self.cs.as_mut().expect("coefficient store present");
+        ss_query::reconstruct_box_standard(cs, &self.levels, lo, hi)
     }
 
     /// Adds a delta box anchored at `origin`, entirely in the wavelet
     /// domain; returns the number of dyadic pieces applied.
     pub fn update(&mut self, origin: &[usize], delta: &NdArray<f64>) -> usize {
         self.fast_point_ready = false;
-        ss_transform::update_box_standard(&mut self.cs, &self.levels, origin, delta)
+        let cs = self.cs.as_mut().expect("coefficient store present");
+        ss_transform::update_box_standard(cs, &self.levels, origin, delta)
     }
 
     /// Builds a K-term synopsis for approximate querying.
     pub fn synopsis(&mut self, k: usize) -> ss_query::StoredSynopsis {
-        ss_query::StoredSynopsis::build(&mut self.cs, &self.levels, k)
+        let cs = self.cs.as_mut().expect("coefficient store present");
+        ss_query::StoredSynopsis::build(cs, &self.levels, k)
     }
 
     /// Direct access to the underlying coefficient store.
     pub fn store(&mut self) -> &mut CoeffStore<StandardTiling, S> {
-        &mut self.cs
+        self.cs()
     }
 }
 

@@ -1,0 +1,184 @@
+//! Worker-count invariance of the parallel transform drivers, and
+//! concurrency smoke tests for the sharded buffer pool.
+//!
+//! The SHIFT-SPLIT delta streams commute under addition, so the parallel
+//! drivers must produce *the same store* as the serial ones for every
+//! worker count — including worker counts that don't divide the chunk
+//! grid, and chunk grids that aren't powers of the worker count.
+
+use shiftsplit::array::{MultiIndexIter, NdArray, Shape};
+use shiftsplit::core::tiling::{NonStandardTiling, StandardTiling};
+use shiftsplit::datagen::SplitMix64;
+use shiftsplit::storage::{
+    mem_shared_store, wstore::mem_store, IoStats, MemBlockStore, ShardedBufferPool,
+};
+use shiftsplit::transform::{
+    transform_nonstandard_parallel, transform_nonstandard_zorder, transform_standard,
+    transform_standard_parallel, ArraySource,
+};
+
+fn noisy(dims: &[usize], seed: u64) -> NdArray<f64> {
+    let mut rng = SplitMix64::new(seed);
+    NdArray::from_fn(Shape::new(dims), |_| rng.next_f64() * 200.0 - 100.0)
+}
+
+#[test]
+fn standard_parallel_invariant_across_worker_counts() {
+    let data = noisy(&[64, 64], 11);
+    let src = ArraySource::new(&data, &[3, 3]); // 8x8 chunk grid
+    let mut serial = mem_store(StandardTiling::new(&[6, 6], &[2, 2]), 512, IoStats::new());
+    transform_standard(&src, &mut serial, false);
+    for workers in [1usize, 2, 8] {
+        let shared = mem_shared_store(
+            StandardTiling::new(&[6, 6], &[2, 2]),
+            512,
+            4,
+            IoStats::new(),
+        );
+        transform_standard_parallel(&src, &shared, workers);
+        for idx in MultiIndexIter::new(&[64, 64]) {
+            assert!(
+                (shared.read(&idx) - serial.read(&idx)).abs() <= 1e-9,
+                "workers={workers} idx={idx:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn standard_parallel_non_pow2_chunk_grid() {
+    // 3 chunk levels on one axis, 2 on the other: a 2x8 grid of 16 chunks
+    // sliced across worker counts that don't divide it evenly.
+    let data = noisy(&[16, 64], 23);
+    let src = ArraySource::new(&data, &[3, 3]); // grid 2x8
+    let mut serial = mem_store(StandardTiling::new(&[4, 6], &[2, 2]), 256, IoStats::new());
+    transform_standard(&src, &mut serial, false);
+    for workers in [1usize, 2, 3, 5, 8] {
+        let shared = mem_shared_store(
+            StandardTiling::new(&[4, 6], &[2, 2]),
+            256,
+            3, // non-pow2 shard count too
+            IoStats::new(),
+        );
+        transform_standard_parallel(&src, &shared, workers);
+        for idx in MultiIndexIter::new(&[16, 64]) {
+            assert!(
+                (shared.read(&idx) - serial.read(&idx)).abs() <= 1e-9,
+                "workers={workers} idx={idx:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nonstandard_parallel_invariant_across_worker_counts() {
+    let data = noisy(&[32, 32], 37);
+    let src = ArraySource::new(&data, &[2, 2]); // 8x8 z-order grid
+    let stats = IoStats::new();
+    let mut serial = mem_store(NonStandardTiling::new(2, 5, 2), 512, stats);
+    transform_nonstandard_zorder(&src, &mut serial);
+    for workers in [1usize, 2, 8] {
+        let shared = mem_shared_store(NonStandardTiling::new(2, 5, 2), 512, 4, IoStats::new());
+        let report = transform_nonstandard_parallel(&src, &shared, workers);
+        assert_eq!(report.chunks, 64);
+        // Per-worker crest caches stay within the serial bound
+        // (2^d − 1)·(n − m) + 1 even at range boundaries.
+        assert!(
+            report.peak_crest_cache <= 3 * 3 + 1,
+            "workers={workers} peak {}",
+            report.peak_crest_cache
+        );
+        for idx in MultiIndexIter::new(&[32, 32]) {
+            assert!(
+                (shared.read(&idx) - serial.read(&idx)).abs() <= 1e-9,
+                "workers={workers} idx={idx:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nonstandard_parallel_workers_straddling_subtrees() {
+    // 3 workers over a 64-chunk z-order walk puts both range boundaries
+    // strictly inside level-2 subtrees (ranks 21 and 42): every crest
+    // partial-sum path is exercised.
+    let data = noisy(&[32, 32], 41);
+    let src = ArraySource::new(&data, &[2, 2]);
+    let want = {
+        let mut a = data.clone();
+        shiftsplit::core::nonstandard::forward(&mut a);
+        a
+    };
+    for workers in [3usize, 5, 7] {
+        let shared = mem_shared_store(NonStandardTiling::new(2, 5, 2), 512, 4, IoStats::new());
+        transform_nonstandard_parallel(&src, &shared, workers);
+        for idx in MultiIndexIter::new(&[32, 32]) {
+            assert!(
+                (shared.read(&idx) - want.get(&idx)).abs() <= 1e-9,
+                "workers={workers} idx={idx:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_pool_hammer_reconciles_counters() {
+    // 8 threads hammer a 32-block store through a sharded pool small
+    // enough to evict constantly; afterwards the shard-local counters,
+    // the global IoStats, and the MemBlockStore contents must all agree.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 200;
+    const BLOCKS: usize = 32;
+    let stats = IoStats::new();
+    let store = MemBlockStore::new(8, BLOCKS, stats.clone());
+    let pool = ShardedBufferPool::new(store, 8, 4, stats.clone());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xC0FFEE + t as u64);
+                for _ in 0..ROUNDS {
+                    let id = rng.below(BLOCKS);
+                    let slot = rng.below(8);
+                    pool.add(id, slot, 1.0);
+                }
+            });
+        }
+    });
+    pool.flush();
+
+    // Shard-local counters reconcile exactly with the shared snapshot.
+    let per_shard = pool.shard_counters();
+    let snap = stats.snapshot();
+    assert_eq!(
+        per_shard.iter().map(|c| c.hits).sum::<u64>(),
+        snap.pool_hits
+    );
+    assert_eq!(
+        per_shard.iter().map(|c| c.misses).sum::<u64>(),
+        snap.pool_misses
+    );
+    assert_eq!(
+        per_shard.iter().map(|c| c.evictions).sum::<u64>(),
+        snap.pool_evictions
+    );
+    assert_eq!(
+        per_shard.iter().map(|c| c.writebacks).sum::<u64>(),
+        snap.pool_writebacks
+    );
+    // Every access is either a hit or a miss; every miss read a block.
+    assert_eq!(snap.pool_accesses(), (THREADS * ROUNDS) as u64);
+    assert_eq!(snap.block_reads, snap.pool_misses);
+    // Write-back, not write-through: the store saw exactly the write-backs.
+    assert_eq!(snap.block_writes, snap.pool_writebacks);
+
+    // No increment was lost: the store holds THREADS*ROUNDS ones in total.
+    let mut store = pool.into_store();
+    let mut total = 0.0;
+    let mut buf = vec![0.0; 8];
+    for id in 0..BLOCKS {
+        shiftsplit::storage::BlockStore::read_block(&mut store, id, &mut buf);
+        total += buf.iter().sum::<f64>();
+    }
+    assert_eq!(total, (THREADS * ROUNDS) as f64);
+}
