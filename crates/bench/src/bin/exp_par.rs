@@ -4,7 +4,7 @@
 //! wall-clock. This harness sweeps worker counts over a 1024² domain and
 //! reports, per run, the wall time, the speedup against the serial
 //! driver, the exact store divergence (must be ≤ 1e-9), and the full
-//! [`IoSnapshot`] — including the sharded buffer pool's
+//! [`IoSnapshot`](ss_storage::IoSnapshot) — including the sharded buffer pool's
 //! hit/miss/eviction/write-back counters.
 //!
 //! Wall-clock speedup needs real cores: on a single-CPU host every
@@ -12,14 +12,14 @@
 //! table says so instead of pretending.
 
 use ss_array::{MultiIndexIter, NdArray, Shape};
-use ss_bench::Table;
+use ss_bench::{emit_json_row, timed_ms, Table};
 use ss_core::tiling::{NonStandardTiling, StandardTiling};
+use ss_obs::json::Value;
 use ss_storage::{mem_shared_store, wstore::mem_store, IoStats, SharedCoeffStore};
 use ss_transform::{
     transform_nonstandard_parallel, transform_nonstandard_zorder, transform_standard,
     transform_standard_parallel, ArraySource,
 };
-use std::time::Instant;
 
 const N: u32 = 10; // 1024 x 1024
 const M: u32 = 5; // 32 x 32 chunks
@@ -55,6 +55,7 @@ fn main() {
 
 fn row(
     table: &mut Table,
+    form: &str,
     label: &str,
     wall_ms: f64,
     serial_ms: f64,
@@ -72,6 +73,21 @@ fn row(
             snap.pool_hits, snap.pool_misses, snap.pool_evictions, snap.pool_writebacks
         ),
     ]);
+    emit_json_row(
+        "par",
+        &[
+            ("form", Value::from(form)),
+            ("workers", Value::from(label)),
+            ("wall_ms", Value::from(wall_ms)),
+            ("speedup", Value::from(serial_ms / wall_ms)),
+            ("block_reads", Value::from(snap.block_reads)),
+            ("block_writes", Value::from(snap.block_writes)),
+            ("pool_hits", Value::from(snap.pool_hits)),
+            ("pool_misses", Value::from(snap.pool_misses)),
+            ("pool_evictions", Value::from(snap.pool_evictions)),
+            ("pool_writebacks", Value::from(snap.pool_writebacks)),
+        ],
+    );
 }
 
 fn max_divergence(
@@ -101,12 +117,11 @@ fn standard(data: &NdArray<f64>) {
 
     let stats = IoStats::new();
     let mut serial = mem_store(StandardTiling::new(&[N; 2], &[B; 2]), POOL, stats.clone());
-    let t0 = Instant::now();
-    transform_standard(&src, &mut serial, false);
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (_, serial_ms) = timed_ms(|| transform_standard(&src, &mut serial, false));
     let want = NdArray::from_fn(Shape::cube(2, side), |idx| serial.read(idx));
     row(
         &mut table,
+        "standard",
         "serial",
         serial_ms,
         serial_ms,
@@ -122,14 +137,13 @@ fn standard(data: &NdArray<f64>) {
             workers.max(2),
             stats.clone(),
         );
-        let t0 = Instant::now();
-        transform_standard_parallel(&src, &shared, workers);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (_, wall_ms) = timed_ms(|| transform_standard_parallel(&src, &shared, workers));
         let snap = stats.snapshot();
         let max_diff = max_divergence(&shared, &want, side);
         assert!(max_diff <= 1e-9, "parallel store diverged: {max_diff:e}");
         row(
             &mut table,
+            "standard",
             &workers.to_string(),
             wall_ms,
             serial_ms,
@@ -156,12 +170,11 @@ fn nonstandard(data: &NdArray<f64>) {
 
     let stats = IoStats::new();
     let mut serial = mem_store(NonStandardTiling::new(2, N, B), POOL, stats.clone());
-    let t0 = Instant::now();
-    transform_nonstandard_zorder(&src, &mut serial);
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (_, serial_ms) = timed_ms(|| transform_nonstandard_zorder(&src, &mut serial));
     let want = NdArray::from_fn(Shape::cube(2, side), |idx| serial.read(idx));
     row(
         &mut table,
+        "nonstandard",
         "serial",
         serial_ms,
         serial_ms,
@@ -177,9 +190,7 @@ fn nonstandard(data: &NdArray<f64>) {
             workers.max(2),
             stats.clone(),
         );
-        let t0 = Instant::now();
-        let report = transform_nonstandard_parallel(&src, &shared, workers);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (report, wall_ms) = timed_ms(|| transform_nonstandard_parallel(&src, &shared, workers));
         let snap = stats.snapshot();
         let mut max_diff = 0.0f64;
         for idx in MultiIndexIter::new(&[side, side]) {
@@ -193,6 +204,7 @@ fn nonstandard(data: &NdArray<f64>) {
         );
         row(
             &mut table,
+            "nonstandard",
             &workers.to_string(),
             wall_ms,
             serial_ms,

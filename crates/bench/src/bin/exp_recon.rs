@@ -50,7 +50,7 @@ fn main() {
         cs.clear_cache();
         stats.reset();
         let a = recon::reconstruct_dyadic_standard(&mut cs, &[N_LEVELS; 2], &range);
-        let ss_reads = stats.snapshot().coeff_reads;
+        let ss_reads = stats.take().coeff_reads;
 
         cs.clear_cache();
         stats.reset();
@@ -65,7 +65,7 @@ fn main() {
                 .map(|(&o, e)| o + e - 1)
                 .collect::<Vec<_>>(),
         );
-        let pw_reads = stats.snapshot().coeff_reads;
+        let pw_reads = stats.take().coeff_reads;
         assert!(
             a.max_abs_diff(&b) < 1e-9,
             "strategies disagree at M={big_m}"
@@ -117,7 +117,7 @@ fn nonstandard() {
         let got = recon::reconstruct_range_nonstandard(&mut cs, n, &range);
         let want = data.extract(&range.origin(), &range.extents());
         assert!(got.max_abs_diff(&want) < 1e-9);
-        let reads = stats.snapshot().coeff_reads;
+        let reads = stats.take().coeff_reads;
         let formula = (1u64 << (2 * m)) - 1 + 3 * (n - m) as u64 + 1;
         table.row(&[&(1usize << m), &fmt_count(reads), &fmt_count(formula)]);
     }

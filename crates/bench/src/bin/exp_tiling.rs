@@ -80,8 +80,9 @@ fn main() {
                 let got = f(p);
                 let want = data.get(p);
                 assert!((got - want).abs() < 1e-9, "{label}: wrong answer at {p:?}");
-                blocks += stats.snapshot().block_reads;
-                coeffs += stats.snapshot().coeff_reads;
+                let used = stats.take();
+                blocks += used.block_reads;
+                coeffs += used.coeff_reads;
             }
             (
                 blocks as f64 / QUERIES as f64,
@@ -118,8 +119,9 @@ fn main() {
                 let got = f(lo, hi);
                 let want = data.region_sum(lo, hi);
                 assert!((got - want).abs() < 1e-6, "wrong range sum");
-                blocks += stats.snapshot().block_reads;
-                coeffs += stats.snapshot().coeff_reads;
+                let used = stats.take();
+                blocks += used.block_reads;
+                coeffs += used.coeff_reads;
             }
             (
                 blocks as f64 / QUERIES as f64,

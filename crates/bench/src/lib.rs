@@ -14,6 +14,7 @@
 // Axis-indexed loops over parallel arrays are the clearest idiom here.
 #![allow(clippy::needless_range_loop)]
 
+use ss_obs::json::Value;
 use std::fmt::Display;
 
 /// Accumulates rows and prints a markdown table.
@@ -91,6 +92,50 @@ pub fn fmt_f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
 }
 
+/// Times `f`, returning its result and the elapsed wall milliseconds.
+///
+/// One [`ss_obs::Stopwatch`] behind one helper — the harnesses used to
+/// hand-roll `Instant` arithmetic with per-binary ms conversions, which is
+/// exactly how unit slips creep into reported tables.
+pub fn timed_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let sw = ss_obs::Stopwatch::start();
+    let r = f();
+    let ms = sw.elapsed_ms();
+    (r, ms)
+}
+
+/// Emits one machine-readable result row as a single-line JSON object
+/// tagged `"schema": "ss-exp-v1"` and `"exp": <name>`.
+///
+/// When the `SS_EXP_JSON` environment variable names a file, rows append
+/// to it (JSONL, one object per line) so a sweep of binaries accumulates
+/// a dataset; otherwise the row prints to stdout prefixed `JSON: `,
+/// coexisting with the human-readable markdown tables.
+pub fn emit_json_row(exp: &str, fields: &[(&str, Value)]) {
+    let mut pairs = vec![
+        ("schema".to_string(), Value::from("ss-exp-v1")),
+        ("exp".to_string(), Value::from(exp)),
+    ];
+    for (key, value) in fields {
+        pairs.push((key.to_string(), value.clone()));
+    }
+    let line = Value::Object(pairs).to_string();
+    match std::env::var_os("SS_EXP_JSON") {
+        Some(path) => {
+            use std::io::Write;
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = appended {
+                eprintln!("SS_EXP_JSON: cannot append to {path:?}: {e}");
+            }
+        }
+        None => println!("JSON: {line}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +162,43 @@ mod tests {
         assert_eq!(fmt_count(1), "1");
         assert_eq!(fmt_count(1234), "1,234");
         assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn timed_ms_returns_result_and_wall_clock() {
+        let (value, ms) = timed_ms(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(ms >= 2.0, "{ms}");
+    }
+
+    #[test]
+    fn json_rows_append_to_the_env_named_file() {
+        let path = std::env::temp_dir().join(format!("ss_exp_rows_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::env::set_var("SS_EXP_JSON", &path);
+        emit_json_row(
+            "par",
+            &[
+                ("workers", Value::from(4u64)),
+                ("wall_ms", Value::from(1.5)),
+            ],
+        );
+        emit_json_row("par", &[("workers", Value::from(8u64))]);
+        std::env::remove_var("SS_EXP_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<Value> = text
+            .lines()
+            .map(|l| ss_obs::json::parse(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("schema").unwrap().as_str(), Some("ss-exp-v1"));
+        assert_eq!(rows[0].get("exp").unwrap().as_str(), Some("par"));
+        assert_eq!(rows[0].get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(rows[0].get("wall_ms").unwrap().as_f64(), Some(1.5));
+        assert_eq!(rows[1].get("workers").unwrap().as_u64(), Some(8));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::args::{parse_list, parse_list_u32, Args};
 use crate::csv;
+use crate::metrics;
 use crate::wsfile::{Meta, WsFile};
 use ss_array::NdArray;
 use ss_core::TilingMap;
@@ -39,11 +40,15 @@ pub fn create(args: &Args) -> Result<(), String> {
         ws.store.map().num_tiles(),
         ws.store.map().block_capacity()
     );
-    Ok(())
+    metrics::emit_quiet(args, Some(&ws.stats))
 }
 
-/// `ingest <store> --data values.csv [--chunk a,b,…] [--workers N]`
+/// `ingest <store> --data values.csv [--chunk a,b,…] [--workers N]
+/// [--metrics-out FILE] [--metrics-port N]`
 pub fn ingest(args: &Args) -> Result<(), String> {
+    // Held for the duration of the transform so a scraper can watch the
+    // phase histograms fill in live.
+    let _server = metrics::maybe_serve(args)?;
     let path = args.pos(0, "store path")?;
     let mut ws = WsFile::open(Path::new(path))?;
     let dims = ws.meta.dims();
@@ -85,12 +90,10 @@ pub fn ingest(args: &Args) -> Result<(), String> {
     ws.meta.filled = dims[ws.meta.axis];
     ws.save_meta()?;
     println!(
-        "ingested {} cells in {} chunks [{}]",
-        report.input_coeffs,
-        report.chunks,
-        ws.stats.snapshot()
+        "ingested {} cells in {} chunks",
+        report.input_coeffs, report.chunks
     );
-    Ok(())
+    metrics::emit(args, &ws.stats)
 }
 
 /// `point <store> i,j,…`
@@ -104,8 +107,7 @@ pub fn point(args: &Args) -> Result<(), String> {
     check_rank(&ws.meta, pos.len())?;
     let value = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &pos);
     println!("{value}");
-    eprintln!("[{}]", ws.stats.snapshot());
-    Ok(())
+    metrics::emit(args, &ws.stats)
 }
 
 /// `sum <store> --lo a,b,… --hi a,b,…`
@@ -118,8 +120,7 @@ pub fn sum(args: &Args) -> Result<(), String> {
     check_rank(&ws.meta, hi.len())?;
     let value = ss_query::range_sum_standard(&mut ws.store, &ws.meta.levels, &lo, &hi);
     println!("{value}");
-    eprintln!("[{}]", ws.stats.snapshot());
-    Ok(())
+    metrics::emit(args, &ws.stats)
 }
 
 /// `extract <store> --lo a,b,… --hi a,b,… [--out file]`
@@ -138,8 +139,7 @@ pub fn extract(args: &Args) -> Result<(), String> {
         }
         None => print!("{text}"),
     }
-    eprintln!("[{}]", ws.stats.snapshot());
-    Ok(())
+    metrics::emit(args, &ws.stats)
 }
 
 /// `update <store> --at a,b,… --data delta.csv --dims a,b,…`
@@ -152,11 +152,10 @@ pub fn update(args: &Args) -> Result<(), String> {
     check_rank(&ws.meta, origin.len())?;
     let pieces = ss_transform::update_box_standard(&mut ws.store, &ws.meta.levels, &origin, &delta);
     println!(
-        "applied {} update cells as {pieces} dyadic pieces [{}]",
-        delta.len(),
-        ws.stats.snapshot()
+        "applied {} update cells as {pieces} dyadic pieces",
+        delta.len()
     );
-    Ok(())
+    metrics::emit(args, &ws.stats)
 }
 
 /// `append <store> --data chunk.csv --extent n`
@@ -182,12 +181,11 @@ pub fn append(args: &Args) -> Result<(), String> {
     let stats = ss_storage::IoStats::new();
     let new_meta = append_to_file(Path::new(path), meta, &chunk, stats.clone())?;
     println!(
-        "appended {extent} slices; domain now {:?}, filled {} [{}]",
+        "appended {extent} slices; domain now {:?}, filled {}",
         new_meta.dims(),
-        new_meta.filled,
-        stats.snapshot()
+        new_meta.filled
     );
-    Ok(())
+    metrics::emit(args, &stats)
 }
 
 /// Appends one chunk to a store file, expanding (into a rewritten file)
@@ -301,6 +299,44 @@ pub fn stats(args: &Args) -> Result<(), String> {
         "on disk : {} bytes",
         std::fs::metadata(ws.path()).map(|m| m.len()).unwrap_or(0)
     );
+    metrics::emit_quiet(args, Some(&ws.stats))
+}
+
+/// `serve-metrics --port N [--requests K] [store]`
+///
+/// Serves the process-wide metrics registry over plain TCP: Prometheus
+/// text exposition on any path, the `ss-metrics-v1` JSON snapshot on paths
+/// ending in `.json`. With a store argument, the store's I/O counters are
+/// folded in first so the endpoint has content immediately. `--port 0`
+/// picks an ephemeral port (printed on stdout); `--requests K` exits after
+/// answering K requests (without it the server runs until killed).
+pub fn serve_metrics(args: &Args) -> Result<(), String> {
+    let port: u16 = match args.flag_opt("port") {
+        Some(p) => p.parse().map_err(|e| format!("bad --port: {e}"))?,
+        None => 0,
+    };
+    let requests = match args.flag_opt("requests") {
+        Some(r) => Some(
+            r.parse::<u64>()
+                .map_err(|e| format!("bad --requests: {e}"))?,
+        ),
+        None => None,
+    };
+    if args.pos_len() > 0 {
+        let path = args.pos(0, "store path")?;
+        let ws = WsFile::open(Path::new(path))?;
+        ws.stats.publish(&ss_obs::global());
+    }
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("serving on {addr}");
+    // Scripts (and our tests) read this line to learn the ephemeral port,
+    // so it must not sit in the stdout buffer while we block in accept().
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let served =
+        ss_obs::serve(&listener, &ss_obs::global(), requests).map_err(|e| e.to_string())?;
+    println!("served {served} requests");
     Ok(())
 }
 
@@ -344,7 +380,8 @@ pub fn stream(args: &Args) -> Result<(), String> {
             e.magnitude()
         );
     }
-    Ok(())
+    // No IoStats here — the registry still carries `stream.push_ns`.
+    metrics::emit_quiet(args, None)
 }
 
 /// `synopsis <store> --k K --out syn.bin`
@@ -368,7 +405,7 @@ pub fn synopsis(args: &Args) -> Result<(), String> {
         bytes.len(),
         100.0 * syn.retained() as f64 / ws.meta.dims().iter().product::<usize>() as f64
     );
-    Ok(())
+    metrics::emit_quiet(args, Some(&ws.stats))
 }
 
 /// `asksyn <syn.bin> (--at i,j,… | --lo … --hi …)`
@@ -381,12 +418,12 @@ pub fn query_synopsis(args: &Args) -> Result<(), String> {
     if let Some(at) = args.flag_opt("at") {
         let pos = parse_list(at)?;
         println!("{}", syn.point(&pos));
-        return Ok(());
+        return metrics::emit_quiet(args, None);
     }
     let lo = parse_list(args.flag("lo")?)?;
     let hi = parse_list(args.flag("hi")?)?;
     println!("{}", syn.range_sum(&lo, &hi));
-    Ok(())
+    metrics::emit_quiet(args, None)
 }
 
 fn check_rank(meta: &Meta, rank: usize) -> Result<(), String> {

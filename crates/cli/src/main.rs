@@ -21,6 +21,7 @@
 mod args;
 mod commands;
 mod csv;
+mod metrics;
 mod wsfile;
 
 use args::Args;
@@ -44,7 +45,14 @@ COMMANDS:
   synopsis <store> --k K --out F   export a K-term synopsis blob
   asksyn  <F> --at …|--lo …--hi …  approximate queries from a synopsis
   stream  --data FILE --k K        best-K synopsis of a value stream
+  serve-metrics --port N [--requests K] [store]   expose the metrics registry
+          (Prometheus text on any path, ss-metrics-v1 JSON on *.json paths)
   demo                             self-contained demonstration
+
+Every command also accepts --metrics-out FILE to write an ss-metrics-v1
+JSON snapshot (counters, latency histograms, phase timings) instead of the
+one-line stderr summary; ingest additionally accepts --metrics-port N to
+serve the registry live while it runs.
 
 Run any command without its required flags to see what it needs.";
 
@@ -66,6 +74,11 @@ fn run(raw: &[String]) -> Result<(), String> {
     let command = raw.first().map(|s| s.as_str()).unwrap_or("");
     let rest = if raw.is_empty() { &[][..] } else { &raw[1..] };
     let args = Args::parse(rest)?;
+    // Per-command wall-clock span. It records on drop — i.e. *after* any
+    // `--metrics-out` snapshot this command writes — so `cli.*_ns` shows
+    // up on the live `serve-metrics` endpoint and in later snapshots from
+    // the same process (e.g. `demo`'s nested commands).
+    let _span = ss_obs::global().span(&format!("cli.{}_ns", command_slug(command)));
     match command {
         "create" => commands::create(&args),
         "ingest" => commands::ingest(&args),
@@ -78,9 +91,32 @@ fn run(raw: &[String]) -> Result<(), String> {
         "synopsis" => commands::synopsis(&args),
         "asksyn" => commands::query_synopsis(&args),
         "stream" => commands::stream(&args),
+        "serve-metrics" => commands::serve_metrics(&args),
         "demo" => demo(),
         "" => Err("no command given".into()),
         other => Err(format!("unknown command: {other}")),
+    }
+}
+
+/// Maps a command name to the metric suffix of its `cli.<cmd>_ns` span;
+/// unknown/empty commands share one bucket so bad input can't mint
+/// arbitrary metric names.
+fn command_slug(command: &str) -> &'static str {
+    match command {
+        "create" => "create",
+        "ingest" => "ingest",
+        "point" => "point",
+        "sum" => "sum",
+        "extract" => "extract",
+        "update" => "update",
+        "append" => "append",
+        "stats" => "stats",
+        "synopsis" => "synopsis",
+        "asksyn" => "asksyn",
+        "stream" => "stream",
+        "serve-metrics" => "serve_metrics",
+        "demo" => "demo",
+        _ => "unknown",
     }
 }
 

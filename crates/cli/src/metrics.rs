@@ -1,0 +1,64 @@
+//! Metrics plumbing shared by every subcommand.
+//!
+//! Every command accepts `--metrics-out FILE`: the store's [`IoStats`]
+//! counters are folded into the process-wide [`ss_obs`] registry and the
+//! whole registry — I/O counters, block-latency histograms, transform
+//! phase spans, query/stream timings — is written as one `ss-metrics-v1`
+//! JSON snapshot. Without the flag, commands keep their traditional
+//! one-line `[blocks: …]` stderr summary. `ingest` additionally accepts
+//! `--metrics-port N` to expose the registry live (Prometheus text /
+//! JSON) while the transform runs.
+
+use crate::args::Args;
+use ss_storage::IoStats;
+
+/// Folds `stats` into the global registry, then emits: the JSON snapshot
+/// to `--metrics-out FILE` when the flag is present, otherwise the
+/// one-line counter summary on stderr.
+pub fn emit(args: &Args, stats: &IoStats) -> Result<(), String> {
+    stats.publish(&ss_obs::global());
+    match args.flag_opt("metrics-out") {
+        Some(path) => write_snapshot(path),
+        None => {
+            eprintln!("[{}]", stats.snapshot());
+            Ok(())
+        }
+    }
+}
+
+/// Like [`emit`] for commands that either have no [`IoStats`] (`stream`)
+/// or never printed a counter line (`create`, `synopsis`): honours
+/// `--metrics-out` and stays silent otherwise.
+pub fn emit_quiet(args: &Args, stats: Option<&IoStats>) -> Result<(), String> {
+    if let Some(stats) = stats {
+        stats.publish(&ss_obs::global());
+    }
+    match args.flag_opt("metrics-out") {
+        Some(path) => write_snapshot(path),
+        None => Ok(()),
+    }
+}
+
+fn write_snapshot(path: &str) -> Result<(), String> {
+    let mut json = ss_obs::global().to_json();
+    json.push('\n');
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("metrics written to {path}");
+    Ok(())
+}
+
+/// Starts a background metrics endpoint when `--metrics-port N` is given.
+/// Keep the returned guard alive for as long as the endpoint should serve;
+/// it shuts down on drop.
+pub fn maybe_serve(args: &Args) -> Result<Option<ss_obs::MetricsServer>, String> {
+    let Some(port) = args.flag_opt("metrics-port") else {
+        return Ok(None);
+    };
+    let port: u16 = port
+        .parse()
+        .map_err(|e| format!("bad --metrics-port: {e}"))?;
+    let server = ss_obs::MetricsServer::bind(&format!("127.0.0.1:{port}"), ss_obs::global())
+        .map_err(|e| format!("binding metrics port: {e}"))?;
+    eprintln!("metrics: serving on http://{}/metrics", server.local_addr());
+    Ok(Some(server))
+}

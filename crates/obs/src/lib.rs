@@ -1,0 +1,53 @@
+//! Std-only metrics and tracing for the SHIFT-SPLIT workspace.
+//!
+//! The paper's claims are quantitative (I/O counts, per-item work); the
+//! experiments add a second axis — wall-clock — and every surface of the
+//! system needs to report both in one machine-readable format. This crate
+//! is that substrate. It has **zero dependencies** (the build is fully
+//! offline) and provides:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and log2-bucketed
+//!   latency [`Histogram`]s. Handles are cheap `Arc` clones;
+//!   [`Histogram::record`] is lock-free (atomic buckets), so hot paths
+//!   (block I/O, per-item stream maintenance) can record unconditionally.
+//! * A span/stopwatch API — [`timed`], [`Registry::span`] (guard form) and
+//!   [`Stopwatch`] for explicit lap timing — with *hierarchical phase
+//!   attribution by dotted metric names* (`transform.read_ns`,
+//!   `transform.compute_ns`, `transform.writeback_ns`, …).
+//! * Two exporters: a stable JSON snapshot schema
+//!   ([`Registry::to_json`], `"schema": "ss-metrics-v1"`) and Prometheus
+//!   text exposition ([`Registry::to_prometheus`]) served from a plain
+//!   [`std::net::TcpListener`] by [`server`].
+//! * A tiny JSON value/parser ([`json`]) so tests and tools can consume
+//!   the snapshots without external crates.
+//!
+//! Most callers use the process-wide [`global`] registry:
+//!
+//! ```
+//! let answer = ss_obs::timed("demo.answer_ns", || 21 * 2);
+//! assert_eq!(answer, 42);
+//! let snap = ss_obs::global().histogram("demo.answer_ns").snapshot();
+//! assert_eq!(snap.count, 1);
+//! ```
+
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod server;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{global, Counter, Gauge, Registry};
+pub use server::{serve, MetricsServer};
+pub use span::{Span, Stopwatch};
+
+/// Times `f` and records the elapsed nanoseconds into histogram `name` of
+/// the [`global`] registry.
+pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    global().timed(name, f)
+}
+
+/// Records `ns` into histogram `name` of the [`global`] registry.
+pub fn record_ns(name: &str, ns: u64) {
+    global().record_ns(name, ns);
+}

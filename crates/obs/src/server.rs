@@ -1,0 +1,187 @@
+//! Metrics exposition over a plain [`std::net::TcpListener`].
+//!
+//! A deliberately tiny HTTP/1.0-style responder: any `GET` whose path
+//! ends in `.json` receives the JSON snapshot, everything else receives
+//! Prometheus text exposition. One request per connection
+//! (`Connection: close`), no keep-alive, no TLS — enough for `curl`, a
+//! Prometheus scraper, or a test's raw [`std::net::TcpStream`].
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Serves `registry` on `listener` until `max_requests` requests have been
+/// answered (forever when `None`). Returns the number of requests served.
+pub fn serve(
+    listener: &TcpListener,
+    registry: &Registry,
+    max_requests: Option<u64>,
+) -> std::io::Result<u64> {
+    let mut served = 0u64;
+    loop {
+        if let Some(max) = max_requests {
+            if served >= max {
+                return Ok(served);
+            }
+        }
+        let (stream, _) = listener.accept()?;
+        // Best-effort: a broken client connection must not kill the server.
+        let _ = answer(stream, registry);
+        served += 1;
+    }
+}
+
+fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    // Read the request head (or as much of it as arrives promptly).
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/metrics");
+    let (body, content_type) = if path.ends_with(".json") {
+        (registry.to_json(), "application/json")
+    } else {
+        (registry.to_prometheus(), "text/plain; version=0.0.4")
+    };
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A metrics server running on a background thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves `registry` from a background thread until
+    /// [`shutdown`](MetricsServer::shutdown) or drop.
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ss-obs-metrics".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop2.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let _ = answer(stream, &registry);
+                    }
+                    Err(_) => return,
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json_to_a_plain_tcp_stream() {
+        let r = Registry::new();
+        r.counter("io.block_reads").add(11);
+        r.record_ns("storage.block_read_ns", 500);
+        let server = MetricsServer::bind("127.0.0.1:0", r).unwrap();
+        let addr = server.local_addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("ss_io_block_reads 11"), "{text}");
+        assert!(text.contains("ss_storage_block_read_ns_count 1"), "{text}");
+
+        let json_resp = get(addr, "/metrics.json");
+        let body = json_resp.split("\r\n\r\n").nth(1).unwrap();
+        let v = json::parse(body).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("ss-metrics-v1"));
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("io.block_reads")
+                .unwrap()
+                .as_u64(),
+            Some(11)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn blocking_serve_honours_request_budget() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || serve(&listener, &r, Some(2)).unwrap());
+        assert!(get(addr, "/metrics").contains("ss_c 1"));
+        assert!(get(addr, "/metrics").contains("ss_c 1"));
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

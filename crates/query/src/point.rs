@@ -14,6 +14,7 @@ pub fn point_standard<M: TilingMap, S: BlockStore>(
     n: &[u32],
     pos: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.point_ns");
     reconstruct::standard_point_contributions(n, pos)
         .iter()
         .map(|(idx, w)| w * cs.read(idx))
@@ -27,6 +28,7 @@ pub fn point_nonstandard<M: TilingMap, S: BlockStore>(
     n: u32,
     pos: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.point_ns");
     reconstruct::nonstandard_point_contributions(n, pos.len(), pos)
         .iter()
         .map(|(idx, w)| w * cs.read(idx))
@@ -45,6 +47,7 @@ pub fn point_standard_fast<S: BlockStore>(
     cs: &mut CoeffStore<StandardTiling, S>,
     pos: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.point_ns");
     // Per-axis in-tile contribution lists as (slot, weight).
     let per_axis: Vec<Vec<(usize, f64)>> = cs
         .map()
@@ -140,6 +143,7 @@ pub fn point_nonstandard_fast<S: BlockStore>(
     n: u32,
     pos: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.point_ns");
     let d = pos.len();
     if n == 0 {
         return cs.read_at(0, 0);

@@ -13,6 +13,7 @@ pub fn range_sum_standard<M: TilingMap, S: BlockStore>(
     lo: &[usize],
     hi: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.range_sum_ns");
     reconstruct::standard_range_sum_contributions(n, lo, hi)
         .iter()
         .map(|(idx, w)| w * cs.read(idx))
@@ -31,6 +32,7 @@ pub fn range_sum_nonstandard<M: TilingMap, S: BlockStore>(
     lo: &[usize],
     hi: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.range_sum_ns");
     let mut total = 0.0;
     for piece in ss_array::decompose_range(lo, hi) {
         // Non-standard inverse SPLIT needs cubic pieces; split rectangular
@@ -74,6 +76,7 @@ pub fn range_sum_standard_fast<S: BlockStore>(
     lo: &[usize],
     hi: &[usize],
 ) -> f64 {
+    let _span = ss_obs::global().span("query.range_sum_ns");
     let d = cs.map().ndim();
     assert_eq!(lo.len(), d);
     assert_eq!(hi.len(), d);

@@ -25,6 +25,7 @@ pub fn reconstruct_box_standard<M: TilingMap, S: BlockStore>(
     lo: &[usize],
     hi: &[usize],
 ) -> NdArray<f64> {
+    let _span = ss_obs::global().span("query.reconstruct_ns");
     let extents: Vec<usize> = lo.iter().zip(hi).map(|(&l, &h)| h - l + 1).collect();
     let mut out = NdArray::<f64>::zeros(Shape::new(&extents));
     for piece in ss_array::decompose_range(lo, hi) {
@@ -55,6 +56,7 @@ pub fn reconstruct_range_nonstandard<M: TilingMap, S: BlockStore>(
     n: u32,
     range: &DyadicRange,
 ) -> NdArray<f64> {
+    let _span = ss_obs::global().span("query.reconstruct_ns");
     reconstruct::nonstandard_reconstruct_range(n, range, |idx| cs.read(idx))
 }
 

@@ -25,8 +25,10 @@ use crate::block::BlockStore;
 use crate::pool::Frame;
 use crate::stats::IoStats;
 use ss_core::TilingMap;
+use ss_obs::Histogram;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Per-shard cache event counters (a copy; see
 /// [`ShardedBufferPool::shard_counters`]).
@@ -56,6 +58,11 @@ pub struct ShardedBufferPool<S: BlockStore> {
     block_capacity: usize,
     num_blocks: usize,
     stats: IoStats,
+    // Global-registry handles resolved once: per-acquisition wait time on
+    // the shard locks and on the backing-store lock. Under the parallel
+    // drivers these are the contention signal the workers report.
+    shard_wait_ns: Histogram,
+    store_wait_ns: Histogram,
 }
 
 impl<S: BlockStore> ShardedBufferPool<S> {
@@ -82,7 +89,25 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             num_blocks: store.num_blocks(),
             store: Mutex::new(store),
             stats,
+            shard_wait_ns: ss_obs::global().histogram("pool.shard_lock_wait_ns"),
+            store_wait_ns: ss_obs::global().histogram("pool.store_lock_wait_ns"),
         }
+    }
+
+    /// Locks `id`'s shard, recording how long the acquisition waited.
+    fn lock_shard(&self, id: usize) -> MutexGuard<'_, Shard> {
+        let t0 = Instant::now();
+        let guard = self.shards[self.shard_of(id)].lock().unwrap();
+        self.shard_wait_ns.record(t0.elapsed().as_nanos() as u64);
+        guard
+    }
+
+    /// Locks the backing store, recording how long the acquisition waited.
+    fn lock_store(&self) -> MutexGuard<'_, S> {
+        let t0 = Instant::now();
+        let guard = self.store.lock().unwrap();
+        self.store_wait_ns.record(t0.elapsed().as_nanos() as u64);
+        guard
     }
 
     /// Number of independently locked shards.
@@ -134,13 +159,13 @@ impl<S: BlockStore> ShardedBufferPool<S> {
 
     /// Reads one coefficient of block `id`.
     pub fn read(&self, id: usize, slot: usize) -> f64 {
-        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let mut shard = self.lock_shard(id);
         self.frame_mut(&mut shard, id).data[slot]
     }
 
     /// Overwrites one coefficient of block `id`.
     pub fn write(&self, id: usize, slot: usize, value: f64) {
-        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let mut shard = self.lock_shard(id);
         let frame = self.frame_mut(&mut shard, id);
         frame.data[slot] = value;
         frame.dirty = true;
@@ -148,7 +173,7 @@ impl<S: BlockStore> ShardedBufferPool<S> {
 
     /// Adds `delta` to one coefficient of block `id`.
     pub fn add(&self, id: usize, slot: usize, delta: f64) {
-        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let mut shard = self.lock_shard(id);
         let frame = self.frame_mut(&mut shard, id);
         frame.data[slot] += delta;
         frame.dirty = true;
@@ -159,7 +184,7 @@ impl<S: BlockStore> ShardedBufferPool<S> {
     /// parallel drivers apply a chunk's per-tile delta batches: one lock
     /// acquisition per tile, not per coefficient.
     pub fn with_block<R>(&self, id: usize, mutate: bool, f: impl FnOnce(&mut [f64]) -> R) -> R {
-        let mut shard = self.shards[self.shard_of(id)].lock().unwrap();
+        let mut shard = self.lock_shard(id);
         let frame = self.frame_mut(&mut shard, id);
         if mutate {
             frame.dirty = true;
@@ -181,7 +206,7 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             if ids.is_empty() {
                 continue;
             }
-            let mut store = self.store.lock().unwrap();
+            let mut store = self.lock_store();
             for id in ids {
                 let frame = shard.frames.get_mut(&id).expect("dirty frame");
                 store.write_block(id, &frame.data);
@@ -232,13 +257,13 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             shard.counters.evictions += 1;
             self.stats.add_pool_evictions(1);
             if frame.dirty {
-                self.store.lock().unwrap().write_block(victim, &frame.data);
+                self.lock_store().write_block(victim, &frame.data);
                 shard.counters.writebacks += 1;
                 self.stats.add_pool_writebacks(1);
             }
         }
         let mut data = vec![0.0; self.block_capacity];
-        self.store.lock().unwrap().read_block(id, &mut data);
+        self.lock_store().read_block(id, &mut data);
         shard.frames.insert(
             id,
             Frame {

@@ -165,16 +165,58 @@ impl IoStats {
         }
     }
 
-    /// Resets every counter to zero.
+    /// Atomically drains every counter to zero, returning the drained
+    /// values.
+    ///
+    /// Unlike a `store(0)` sweep, each counter is `swap`ped, so no
+    /// concurrent increment is ever lost: every recorded event appears in
+    /// exactly one `take()` result (or in the counters afterwards). A
+    /// concurrent [`snapshot`](IoStats::snapshot) may still interleave
+    /// between two swaps — snapshots are only a consistent cut of the
+    /// *whole* set when no reset races them — but conservation per counter
+    /// now holds unconditionally.
+    pub fn take(&self) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.inner.block_reads.swap(0, Ordering::Relaxed),
+            block_writes: self.inner.block_writes.swap(0, Ordering::Relaxed),
+            coeff_reads: self.inner.coeff_reads.swap(0, Ordering::Relaxed),
+            coeff_writes: self.inner.coeff_writes.swap(0, Ordering::Relaxed),
+            pool_hits: self.inner.pool_hits.swap(0, Ordering::Relaxed),
+            pool_misses: self.inner.pool_misses.swap(0, Ordering::Relaxed),
+            pool_evictions: self.inner.pool_evictions.swap(0, Ordering::Relaxed),
+            pool_writebacks: self.inner.pool_writebacks.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (a [`take`](IoStats::take) whose
+    /// result is dropped, so the same loss-free guarantee applies).
     pub fn reset(&self) {
-        self.inner.block_reads.store(0, Ordering::Relaxed);
-        self.inner.block_writes.store(0, Ordering::Relaxed);
-        self.inner.coeff_reads.store(0, Ordering::Relaxed);
-        self.inner.coeff_writes.store(0, Ordering::Relaxed);
-        self.inner.pool_hits.store(0, Ordering::Relaxed);
-        self.inner.pool_misses.store(0, Ordering::Relaxed);
-        self.inner.pool_evictions.store(0, Ordering::Relaxed);
-        self.inner.pool_writebacks.store(0, Ordering::Relaxed);
+        let _ = self.take();
+    }
+
+    /// Folds the current counter values into `registry` as `io.*`
+    /// counters — the bridge from the paper's I/O accounting into the
+    /// common metrics snapshot every surface exports.
+    pub fn publish(&self, registry: &ss_obs::Registry) {
+        self.snapshot().publish(registry);
+    }
+}
+
+impl IoSnapshot {
+    /// Stores this snapshot's values as `io.*` counters in `registry`.
+    pub fn publish(&self, registry: &ss_obs::Registry) {
+        registry.counter("io.block_reads").store(self.block_reads);
+        registry.counter("io.block_writes").store(self.block_writes);
+        registry.counter("io.coeff_reads").store(self.coeff_reads);
+        registry.counter("io.coeff_writes").store(self.coeff_writes);
+        registry.counter("io.pool_hits").store(self.pool_hits);
+        registry.counter("io.pool_misses").store(self.pool_misses);
+        registry
+            .counter("io.pool_evictions")
+            .store(self.pool_evictions);
+        registry
+            .counter("io.pool_writebacks")
+            .store(self.pool_writebacks);
     }
 }
 
@@ -230,6 +272,72 @@ mod tests {
         stats.add_pool_misses(4);
         stats.reset();
         assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn take_drains_and_returns_the_delta() {
+        let stats = IoStats::new();
+        stats.add_block_reads(7);
+        stats.add_pool_writebacks(2);
+        let taken = stats.take();
+        assert_eq!(taken.block_reads, 7);
+        assert_eq!(taken.pool_writebacks, 2);
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+        stats.add_block_reads(1);
+        assert_eq!(stats.take().block_reads, 1);
+    }
+
+    #[test]
+    fn concurrent_takes_conserve_every_increment() {
+        // Regression test for the old store(0) reset: with adders and a
+        // taker racing, the sum of everything taken plus the residue must
+        // equal exactly what was added — no increment vanishes.
+        let stats = IoStats::new();
+        let threads = 4u64;
+        let per_thread = 50_000u64;
+        let taken_total = std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let stats = stats.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        stats.add_block_reads(1);
+                    }
+                });
+            }
+            let taker = {
+                let stats = stats.clone();
+                scope.spawn(move || {
+                    let mut total = 0u64;
+                    for _ in 0..1_000 {
+                        total += stats.take().block_reads;
+                    }
+                    total
+                })
+            };
+            taker.join().unwrap()
+        });
+        let residue = stats.take().block_reads;
+        assert_eq!(
+            taken_total + residue,
+            threads * per_thread,
+            "increments lost across concurrent take()s"
+        );
+    }
+
+    #[test]
+    fn publish_folds_counters_into_a_registry() {
+        let stats = IoStats::new();
+        stats.add_block_reads(3);
+        stats.add_pool_hits(9);
+        let registry = ss_obs::Registry::new();
+        stats.publish(&registry);
+        assert_eq!(registry.counter("io.block_reads").get(), 3);
+        assert_eq!(registry.counter("io.pool_hits").get(), 9);
+        assert_eq!(registry.counter("io.coeff_reads").get(), 0);
+        // Re-publishing reflects the latest values, not an accumulation.
+        stats.add_block_reads(1);
+        stats.publish(&registry);
+        assert_eq!(registry.counter("io.block_reads").get(), 4);
     }
 
     #[test]

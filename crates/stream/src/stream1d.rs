@@ -16,6 +16,7 @@
 //! Section 6.3 experiment plots.
 
 use crate::synopsis::{CoeffKey, KTermSynopsis, SynopsisEntry};
+use ss_obs::{Histogram, Stopwatch};
 use std::collections::HashMap;
 
 /// Per-item (Gilbert-style) maintenance of a K-term synopsis.
@@ -28,6 +29,8 @@ pub struct PerItemStream {
     crest: Vec<f64>,
     sum: f64,
     work: u64,
+    /// `stream.push_ns` handle (global registry), one sample per item.
+    push_ns: Histogram,
 }
 
 impl PerItemStream {
@@ -41,6 +44,7 @@ impl PerItemStream {
             crest: vec![0.0; max_levels as usize],
             sum: 0.0,
             work: 0,
+            push_ns: ss_obs::global().histogram("stream.push_ns"),
         }
     }
 
@@ -72,6 +76,7 @@ impl PerItemStream {
     /// Consumes one item: updates every crest coefficient, then finalizes
     /// the coefficients whose support just completed.
     pub fn push(&mut self, x: f64) {
+        let sw = Stopwatch::start();
         assert!(
             self.t < (1usize << self.max_levels),
             "stream exceeded declared domain"
@@ -101,6 +106,7 @@ impl PerItemStream {
             self.synopsis.offer(key, value, key.scale());
             self.work += 1;
         }
+        self.push_ns.record(sw.elapsed_ns());
     }
 
     /// Current synopsis entries (largest magnitude first).
@@ -136,6 +142,10 @@ pub struct BufferedStream {
     crest: Vec<f64>,
     avg_acc: f64,
     work: u64,
+    /// `stream.push_ns` handle (global registry), one sample per item —
+    /// quiet pushes next to buffer-drain spikes, which is exactly the
+    /// amortisation Result 3 trades on.
+    push_ns: Histogram,
 }
 
 impl BufferedStream {
@@ -152,6 +162,7 @@ impl BufferedStream {
             crest: vec![0.0; (max_levels - buf_levels) as usize],
             avg_acc: 0.0,
             work: 0,
+            push_ns: ss_obs::global().histogram("stream.push_ns"),
         }
     }
 
@@ -187,6 +198,7 @@ impl BufferedStream {
 
     /// Consumes one item; all heavy work happens when the buffer fills.
     pub fn push(&mut self, x: f64) {
+        let sw = Stopwatch::start();
         assert!(
             self.len() < (1usize << self.max_levels),
             "stream exceeded declared domain"
@@ -195,6 +207,7 @@ impl BufferedStream {
         if self.buffer.len() == self.buffer_capacity() {
             self.drain_buffer();
         }
+        self.push_ns.record(sw.elapsed_ns());
     }
 
     fn drain_buffer(&mut self) {

@@ -15,8 +15,32 @@
 use crate::source::ChunkSource;
 use ss_array::{MortonIter, MultiIndexIter};
 use ss_core::TilingMap;
+use ss_obs::{Histogram, Stopwatch};
 use ss_storage::{BlockStore, CoeffStore, IoStats};
 use std::collections::HashMap;
+
+/// Global-registry histograms attributing per-chunk ingest time to its
+/// three phases: reading the chunk from the source, the in-memory
+/// transform plus SHIFT-SPLIT delta generation, and folding the deltas
+/// into tiled storage. One sample per chunk per phase; shared by the
+/// serial drivers here and the parallel drivers in
+/// [`par`](crate::transform_standard_parallel).
+pub(crate) struct PhaseHists {
+    pub read: Histogram,
+    pub compute: Histogram,
+    pub writeback: Histogram,
+}
+
+impl PhaseHists {
+    pub(crate) fn resolve() -> Self {
+        let g = ss_obs::global();
+        PhaseHists {
+            read: g.histogram("transform.read_ns"),
+            compute: g.histogram("transform.compute_ns"),
+            writeback: g.histogram("transform.writeback_ns"),
+        }
+    }
+}
 
 /// Statistics of one out-of-core transform run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -72,10 +96,13 @@ pub fn transform_standard<M: TilingMap, S: BlockStore>(
     let mut report = TransformReport::default();
     let stats = cs.stats().clone();
     let block_capacity = cs.map().block_capacity();
+    let phases = PhaseHists::resolve();
     let mut batch: Vec<(usize, usize, f64)> = Vec::new();
     for block in MultiIndexIter::new(&src.grid()) {
+        let mut sw = Stopwatch::start();
         let mut chunk = src.read_chunk(&block);
         charge_input(&stats, chunk.len(), block_capacity);
+        phases.read.record(sw.lap_ns());
         ss_core::standard::forward(&mut chunk);
         {
             let map = cs.map();
@@ -84,7 +111,9 @@ pub fn transform_standard<M: TilingMap, S: BlockStore>(
                 batch.push((loc.tile, loc.slot, delta));
             });
         }
+        phases.compute.record(sw.lap_ns());
         apply_sorted(cs, &mut batch);
+        phases.writeback.record(sw.lap_ns());
         if cold_cache_per_chunk {
             cs.clear_cache();
         }
@@ -108,13 +137,16 @@ pub fn transform_standard_sparse<M: TilingMap, S: BlockStore>(
     let mut report = TransformReport::default();
     let stats = cs.stats().clone();
     let block_capacity = cs.map().block_capacity();
+    let phases = PhaseHists::resolve();
     let mut batch: Vec<(usize, usize, f64)> = Vec::new();
     for block in MultiIndexIter::new(&src.grid()) {
+        let mut sw = Stopwatch::start();
         let mut chunk = src.read_chunk(&block);
         if chunk.as_slice().iter().all(|&v| v == 0.0) {
             continue; // absent in a sparse chunk directory: zero I/O
         }
         charge_input(&stats, chunk.len(), block_capacity);
+        phases.read.record(sw.lap_ns());
         ss_core::standard::forward(&mut chunk);
         {
             let map = cs.map();
@@ -123,7 +155,9 @@ pub fn transform_standard_sparse<M: TilingMap, S: BlockStore>(
                 batch.push((loc.tile, loc.slot, delta));
             });
         }
+        phases.compute.record(sw.lap_ns());
         apply_sorted(cs, &mut batch);
+        phases.writeback.record(sw.lap_ns());
         report.chunks += 1;
         report.input_coeffs += chunk.len() as u64;
     }
@@ -143,10 +177,13 @@ pub fn transform_nonstandard<M: TilingMap, S: BlockStore>(
     let mut report = TransformReport::default();
     let stats = cs.stats().clone();
     let block_capacity = cs.map().block_capacity();
+    let phases = PhaseHists::resolve();
     let mut batch: Vec<(usize, usize, f64)> = Vec::new();
     for block in MultiIndexIter::new(&src.grid()) {
+        let mut sw = Stopwatch::start();
         let mut chunk = src.read_chunk(&block);
         charge_input(&stats, chunk.len(), block_capacity);
+        phases.read.record(sw.lap_ns());
         ss_core::nonstandard::forward(&mut chunk);
         {
             let map = cs.map();
@@ -155,7 +192,9 @@ pub fn transform_nonstandard<M: TilingMap, S: BlockStore>(
                 batch.push((loc.tile, loc.slot, delta));
             });
         }
+        phases.compute.record(sw.lap_ns());
         apply_sorted(cs, &mut batch);
+        phases.writeback.record(sw.lap_ns());
         if cold_cache_per_chunk {
             cs.clear_cache();
         }
@@ -184,11 +223,14 @@ pub fn transform_nonstandard_zorder<M: TilingMap, S: BlockStore>(
     let mut report = TransformReport::default();
     let stats = cs.stats().clone();
     let block_capacity = cs.map().block_capacity();
+    let phases = PhaseHists::resolve();
     let mut crest: HashMap<Vec<usize>, f64> = HashMap::new();
     let mut batch: Vec<(usize, usize, f64)> = Vec::new();
     for (rank, block) in MortonIter::new(d, grid_bits).enumerate() {
+        let mut sw = Stopwatch::start();
         let mut chunk = src.read_chunk(&block);
         charge_input(&stats, chunk.len(), block_capacity);
+        phases.read.record(sw.lap_ns());
         ss_core::nonstandard::forward(&mut chunk);
         {
             let map = cs.map();
@@ -203,6 +245,7 @@ pub fn transform_nonstandard_zorder<M: TilingMap, S: BlockStore>(
                 }
             });
         }
+        phases.compute.record(sw.lap_ns());
         apply_sorted(cs, &mut batch);
         report.peak_crest_cache = report.peak_crest_cache.max(crest.len());
         // Flush every quad-tree node whose subtree the z-order walk just
@@ -228,6 +271,7 @@ pub fn transform_nonstandard_zorder<M: TilingMap, S: BlockStore>(
                 }
             }
         }
+        phases.writeback.record(sw.lap_ns());
         report.chunks += 1;
         report.input_coeffs += chunk.len() as u64;
     }
@@ -265,10 +309,13 @@ pub fn transform_nonstandard_zorder_scalings<S: BlockStore>(
     let mut batch: Vec<(usize, usize, f64)> = Vec::new();
     // acc[s-1] accumulates the child averages of the open node at level
     // m+s on the current z-order path.
+    let phases = PhaseHists::resolve();
     let mut acc = vec![0.0f64; grid_bits as usize];
     for (rank, block) in MortonIter::new(d, grid_bits).enumerate() {
+        let mut sw = Stopwatch::start();
         let chunk = src.read_chunk(&block);
         charge_input(&stats, chunk.len(), block_capacity);
+        phases.read.record(sw.lap_ns());
         // In-chunk averaging pyramid: level 0 = raw cells, level j = means
         // of 2^{dj} cells. Fills scaling slots of tiles rooted inside the
         // chunk's subtree.
@@ -337,7 +384,9 @@ pub fn transform_nonstandard_zorder_scalings<S: BlockStore>(
             }
             carry = node_avg;
         }
+        phases.compute.record(sw.lap_ns());
         apply_sorted(cs, &mut batch);
+        phases.writeback.record(sw.lap_ns());
         report.peak_crest_cache = report.peak_crest_cache.max(crest.len());
         report.chunks += 1;
         report.input_coeffs += t.len() as u64;

@@ -26,10 +26,11 @@
 //! experiments that validate the paper's per-chunk analyses keep using
 //! the serial drivers; these exist to make wall-clock ingestion fast.
 
-use crate::chunked::{charge_input, cubic_levels, is_split_target, TransformReport};
+use crate::chunked::{charge_input, cubic_levels, is_split_target, PhaseHists, TransformReport};
 use crate::source::ChunkSource;
 use ss_array::{morton_decode, Shape};
 use ss_core::TilingMap;
+use ss_obs::Stopwatch;
 use ss_storage::{BlockStore, SharedCoeffStore};
 use std::collections::HashMap;
 
@@ -46,8 +47,8 @@ pub fn resolve_workers(workers: usize) -> usize {
 }
 
 /// Parallel standard-form transform with `workers` threads
-/// (`0` = available parallelism). Matches [`transform_standard`]
-/// (crate::transform_standard) exactly — deltas commute.
+/// (`0` = available parallelism). Matches
+/// [`transform_standard`](crate::transform_standard) exactly — deltas commute.
 pub fn transform_standard_parallel<M, S>(
     src: &(impl ChunkSource + Sync),
     cs: &SharedCoeffStore<M, S>,
@@ -58,6 +59,10 @@ where
     S: BlockStore + Send,
 {
     let workers = resolve_workers(workers);
+    ss_obs::global()
+        .gauge("transform.workers")
+        .set(workers as u64);
+    let busy_ns = ss_obs::global().histogram("transform.worker_busy_ns");
     let n = src.domain_levels().to_vec();
     let grid = src.grid();
     let grid_shape = Shape::new(&grid);
@@ -71,22 +76,32 @@ where
             let n = n.clone();
             let grid_shape = grid_shape.clone();
             let stats = stats.clone();
+            let busy_ns = busy_ns.clone();
             handles.push(scope.spawn(move || {
+                let worker_sw = Stopwatch::start();
+                let phases = PhaseHists::resolve();
                 let map = cs.map();
                 let mut batch: Vec<(usize, usize, f64)> = Vec::new();
                 let lo = total_chunks * w / workers;
                 let hi = total_chunks * (w + 1) / workers;
                 for ordinal in lo..hi {
+                    let mut sw = Stopwatch::start();
                     let block = grid_shape.unoffset(ordinal);
                     let mut chunk = src.read_chunk(&block);
                     charge_input(&stats, chunk.len(), block_capacity);
+                    phases.read.record(sw.lap_ns());
                     ss_core::standard::forward(&mut chunk);
                     ss_core::split::standard_deltas(&chunk, &n, &block, |idx, delta| {
                         let loc = map.locate(idx);
                         batch.push((loc.tile, loc.slot, delta));
                     });
+                    phases.compute.record(sw.lap_ns());
                     cs.apply_batch(&mut batch);
+                    phases.writeback.record(sw.lap_ns());
                 }
+                // One sample per worker: divide by the driver's wall time
+                // for per-worker utilization.
+                busy_ns.record(worker_sw.elapsed_ns());
             }));
         }
         for h in handles {
@@ -129,6 +144,10 @@ where
     S: BlockStore + Send,
 {
     let workers = resolve_workers(workers);
+    ss_obs::global()
+        .gauge("transform.workers")
+        .set(workers as u64);
+    let busy_ns = ss_obs::global().histogram("transform.worker_busy_ns");
     let (n, m) = cubic_levels(src);
     let d = src.domain_levels().len();
     let grid_bits = n - m;
@@ -144,7 +163,10 @@ where
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let stats = stats.clone();
+            let busy_ns = busy_ns.clone();
             handles.push(scope.spawn(move || {
+                let worker_sw = Stopwatch::start();
+                let phases = PhaseHists::resolve();
                 let map = cs.map();
                 let lo = total_chunks * w / workers;
                 let hi = total_chunks * (w + 1) / workers;
@@ -154,9 +176,11 @@ where
                 let mut input_coeffs = 0u64;
                 let mut peak = 0usize;
                 for rank in lo..hi {
+                    let mut sw = Stopwatch::start();
                     morton_decode(rank, grid_bits, &mut block);
                     let mut chunk = src.read_chunk(&block);
                     charge_input(&stats, chunk.len(), block_capacity);
+                    phases.read.record(sw.lap_ns());
                     input_coeffs += chunk.len() as u64;
                     ss_core::nonstandard::forward(&mut chunk);
                     ss_core::split::nonstandard_deltas(&chunk, n, &block, |idx, delta| {
@@ -167,6 +191,7 @@ where
                             batch.push((loc.tile, loc.slot, delta));
                         }
                     });
+                    phases.compute.record(sw.lap_ns());
                     cs.apply_batch(&mut batch);
                     peak = peak.max(crest.len());
                     // Flush every node whose subtree the walk just left,
@@ -195,6 +220,7 @@ where
                             }
                         }
                     }
+                    phases.writeback.record(sw.lap_ns());
                 }
                 // Subtrees extending past `hi` (and, for the last worker,
                 // the overall average) drain as commuting adds.
@@ -203,6 +229,7 @@ where
                 for (idx, v) in leftovers {
                     cs.add(&idx, v);
                 }
+                busy_ns.record(worker_sw.elapsed_ns());
                 (input_coeffs, peak)
             }));
         }

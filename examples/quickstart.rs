@@ -42,14 +42,13 @@ fn main() {
     let value = query::point_standard(&mut store, &[6, 6], &[17, 42]);
     println!(
         "point (17,42) = {value:.4} using {} block reads",
-        stats.snapshot().block_reads
+        stats.take().block_reads
     );
 
-    stats.reset();
     let sum = query::range_sum_standard(&mut store, &[6, 6], &[8, 8], &[23, 39]);
     println!(
         "range-sum [8..23]x[8..39] = {sum:.2} using {} block reads (naive would scan {} cells)",
-        stats.snapshot().block_reads,
+        stats.take().block_reads,
         16 * 32
     );
 
@@ -70,7 +69,7 @@ fn main() {
     let region = query::reconstruct_box_standard(&mut store, &[6, 6], &[16, 32], &[19, 35]);
     println!(
         "reconstructed 4x4 region with {} coefficient reads; corner = {:.4}",
-        stats.snapshot().coeff_reads,
+        stats.take().coeff_reads,
         region.get(&[1, 3])
     );
     println!("done.");

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_ingest.json — the committed wall-clock baseline for
+# the ingest path (parallel transform drivers + in-domain maintenance).
+#
+# The criterion-shim prints one `group/name   <ns> ns/iter` line per
+# benchmark; this script captures those into a small JSON document.
+# Numbers are host-dependent single measurements: treat the committed
+# baseline as an order-of-magnitude reference when reading experiment
+# results, not as a CI regression gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ingest.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+cargo bench -p ss-bench --bench par --bench maintenance | tee "$log"
+
+python3 - "$log" "$out" <<'PY'
+import json
+import sys
+
+log, out = sys.argv[1], sys.argv[2]
+benches = {}
+with open(log) as f:
+    for line in f:
+        parts = line.split()
+        if len(parts) >= 3 and parts[2].startswith("ns/iter"):
+            benches[parts[0]] = {"ns_per_iter": float(parts[1])}
+if not benches:
+    sys.exit("no benchmark lines found in the cargo bench output")
+with open(out, "w") as f:
+    json.dump({"schema": "ss-bench-v1", "benches": benches}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(benches)} benches)")
+PY
