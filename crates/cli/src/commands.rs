@@ -6,8 +6,90 @@ use crate::metrics;
 use crate::wsfile::{Meta, WsFile};
 use ss_array::NdArray;
 use ss_core::TilingMap;
+use ss_storage::{FaultConfig, FaultInjectingBlockStore, RetryPolicy, RetryingBlockStore};
 use ss_transform::ArraySource;
 use std::path::Path;
+
+/// A command failure with a process exit code attached. Usage mistakes
+/// (`code` 1) reprint the USAGE text; detected data corruption (`code` 2)
+/// does not — the message is the whole story.
+#[derive(Debug)]
+pub struct CmdError {
+    /// Human-readable cause.
+    pub msg: String,
+    /// Process exit code.
+    pub code: i32,
+    /// Whether main should append the USAGE text.
+    pub usage: bool,
+}
+
+impl CmdError {
+    /// A corruption failure: exit code 2, no usage text.
+    pub fn corruption(msg: impl Into<String>) -> CmdError {
+        CmdError {
+            msg: msg.into(),
+            code: 2,
+            usage: false,
+        }
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> CmdError {
+        CmdError {
+            msg,
+            code: 1,
+            usage: true,
+        }
+    }
+}
+
+impl From<CmdError> for String {
+    fn from(e: CmdError) -> String {
+        e.msg
+    }
+}
+
+/// Rejects mutation of read-only (legacy v1) stores with an actionable
+/// message instead of a deep typed error.
+fn check_writable(ws: &WsFile, verb: &str) -> Result<(), String> {
+    if ws.read_only() {
+        Err(format!(
+            "cannot {verb}: store is a legacy v1 file (no checksums) and opens read-only; \
+             create a fresh store and re-ingest to upgrade to the v2 format"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Parses the fault-injection/retry flags shared by `ingest`:
+/// `--fault-read P --fault-write P --fault-seed S --retries N`. Returns
+/// `None` when none are present (the unwrapped fast path).
+fn fault_flags(args: &Args) -> Result<Option<(FaultConfig, RetryPolicy)>, String> {
+    let read = args.flag_opt("fault-read");
+    let write = args.flag_opt("fault-write");
+    let seed = args.flag_opt("fault-seed");
+    let retries = args.flag_opt("retries");
+    if read.is_none() && write.is_none() && seed.is_none() && retries.is_none() {
+        return Ok(None);
+    }
+    let mut cfg = FaultConfig::default();
+    if let Some(r) = read {
+        cfg.read_error_rate = r.parse().map_err(|e| format!("bad --fault-read: {e}"))?;
+    }
+    if let Some(w) = write {
+        cfg.write_error_rate = w.parse().map_err(|e| format!("bad --fault-write: {e}"))?;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s.parse().map_err(|e| format!("bad --fault-seed: {e}"))?;
+    }
+    let policy = match retries {
+        Some(n) => RetryPolicy::with_retries(n.parse().map_err(|e| format!("bad --retries: {e}"))?),
+        None => RetryPolicy::default(),
+    };
+    Ok(Some((cfg, policy)))
+}
 
 /// `create <store> --levels a,b,… [--tiles a,b,…] [--axis k]`
 pub fn create(args: &Args) -> Result<(), String> {
@@ -27,12 +109,7 @@ pub fn create(args: &Args) -> Result<(), String> {
     if axis >= levels.len() {
         return Err("append axis out of range".into());
     }
-    let meta = Meta {
-        levels,
-        tiles,
-        filled: 0,
-        axis,
-    };
+    let meta = Meta::new(levels, tiles, 0, axis);
     let ws = WsFile::create(Path::new(path), meta)?;
     println!(
         "created {} ({} blocks of {} coefficients)",
@@ -44,6 +121,7 @@ pub fn create(args: &Args) -> Result<(), String> {
 }
 
 /// `ingest <store> --data values.csv [--chunk a,b,…] [--workers N]
+/// [--fault-read P] [--fault-write P] [--fault-seed S] [--retries N]
 /// [--metrics-out FILE] [--metrics-port N]`
 pub fn ingest(args: &Args) -> Result<(), String> {
     // Held for the duration of the transform so a scraper can watch the
@@ -51,6 +129,7 @@ pub fn ingest(args: &Args) -> Result<(), String> {
     let _server = metrics::maybe_serve(args)?;
     let path = args.pos(0, "store path")?;
     let mut ws = WsFile::open(Path::new(path))?;
+    check_writable(&ws, "ingest")?;
     let dims = ws.meta.dims();
     let data = csv::read_array(Path::new(args.flag("data")?), &dims)?;
     let chunk_levels: Vec<u32> = match args.flag_opt("chunk") {
@@ -65,8 +144,51 @@ pub fn ingest(args: &Args) -> Result<(), String> {
         )),
         None => None,
     };
-    let (mut ws, report) = match workers {
-        Some(workers) => {
+    let faults = fault_flags(args)?;
+    let (mut ws, report) = match (faults, workers) {
+        (Some((cfg, policy)), workers) => {
+            // Rebuild the stack with the fault/retry wrappers between the
+            // pool and the file: pool → retries → injected faults → file.
+            let store_path = ws.path().to_path_buf();
+            let meta = ws.meta.clone();
+            let stats = ws.stats.clone();
+            let (map, blocks) = ws.store.into_parts();
+            let wrapped =
+                RetryingBlockStore::new(FaultInjectingBlockStore::new(blocks, cfg), policy);
+            match workers {
+                Some(workers) => {
+                    let shared = ss_storage::SharedCoeffStore::new(
+                        map,
+                        wrapped,
+                        1 << 10,
+                        workers,
+                        stats.clone(),
+                    );
+                    let report =
+                        ss_transform::try_transform_standard_parallel(&src, &shared, workers)
+                            .map_err(|e| e.to_string())?;
+                    let (map, wrapped) = shared.into_parts();
+                    let blocks = wrapped.into_inner().into_inner();
+                    (
+                        WsFile::from_parts(meta, map, blocks, stats, &store_path),
+                        report,
+                    )
+                }
+                None => {
+                    let mut store =
+                        ss_storage::CoeffStore::new(map, wrapped, 1 << 10, stats.clone());
+                    let report = ss_transform::try_transform_standard(&src, &mut store, false)
+                        .map_err(|e| e.to_string())?;
+                    let (map, wrapped) = store.into_parts();
+                    let blocks = wrapped.into_inner().into_inner();
+                    (
+                        WsFile::from_parts(meta, map, blocks, stats, &store_path),
+                        report,
+                    )
+                }
+            }
+        }
+        (None, Some(workers)) => {
             // Re-house the block file in a sharded, thread-safe pool for the
             // duration of the transform, then hand it back to the serial pool.
             let store_path = ws.path().to_path_buf();
@@ -82,7 +204,7 @@ pub fn ingest(args: &Args) -> Result<(), String> {
                 report,
             )
         }
-        None => {
+        (None, None) => {
             let report = ss_transform::transform_standard(&src, &mut ws.store, false);
             (ws, report)
         }
@@ -149,6 +271,7 @@ pub fn update(args: &Args) -> Result<(), String> {
     let dims = parse_list(args.flag("dims")?)?;
     let delta = csv::read_array(Path::new(args.flag("data")?), &dims)?;
     let mut ws = WsFile::open(Path::new(path))?;
+    check_writable(&ws, "update")?;
     check_rank(&ws.meta, origin.len())?;
     let pieces = ss_transform::update_box_standard(&mut ws.store, &ws.meta.levels, &origin, &delta);
     println!(
@@ -172,6 +295,7 @@ pub fn append(args: &Args) -> Result<(), String> {
         return Err("extent must be a power of two".into());
     }
     let ws = WsFile::open(Path::new(path))?;
+    check_writable(&ws, "append")?;
     let meta = ws.meta.clone();
     drop(ws);
     let mut dims = meta.dims();
@@ -266,11 +390,46 @@ fn expand_file(path: &Path, meta: &mut Meta, stats: ss_storage::IoStats) -> Resu
         }
     }
     new_store.flush();
-    drop(new_store);
+    let (_, mut new_blocks) = new_store.into_parts();
+    // The expanded store must be durable before it replaces the old one.
+    new_blocks.sync().map_err(|e| e.to_string())?;
+    drop(new_blocks);
     drop(old);
+    // Blocks file first, checksum sidecar second. A crash between the two
+    // renames leaves a sidecar whose length no longer matches the blocks
+    // file, which `open` rejects — detectable, never silently wrong.
     std::fs::rename(&tmp, path).map_err(|e| e.to_string())?;
+    std::fs::rename(
+        ss_storage::file::sidecar_path(&tmp),
+        ss_storage::file::sidecar_path(path),
+    )
+    .map_err(|e| e.to_string())?;
     *meta = new_meta;
     Ok(())
+}
+
+/// `scrub <store>`
+///
+/// Verifies every block against its stored CRC-32. Exits 0 when the store
+/// is fully intact, 2 when corruption is detected (so scripts can
+/// distinguish "damaged data" from "bad invocation", which exits 1).
+pub fn scrub(args: &Args) -> Result<(), CmdError> {
+    let path = args.pos(0, "store path")?;
+    let mut ws = WsFile::open(Path::new(path)).map_err(|e| CmdError::from(e.to_string()))?;
+    let report = ws
+        .verify()
+        .map_err(|e| CmdError::corruption(e.to_string()))?;
+    println!("{report}");
+    metrics::emit_quiet(args, Some(&ws.stats))?;
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CmdError::corruption(format!(
+            "{} of {} block(s) corrupt",
+            report.corrupt.len(),
+            report.blocks
+        )))
+    }
 }
 
 /// `stats <store>`

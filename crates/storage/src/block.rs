@@ -1,10 +1,19 @@
 //! The block-device abstraction.
 
+use crate::error::StorageError;
+
 /// A store of fixed-capacity blocks of `f64` coefficients.
 ///
 /// Blocks are addressed by ordinal; every read/write transfers a whole
 /// block, mirroring disk-sector granularity. Implementations count their
 /// transfers in a shared [`IoStats`](crate::IoStats).
+///
+/// Transfers come in two flavours: the fallible `try_*` methods return a
+/// typed [`StorageError`] (what the retry and fault-injection wrappers
+/// compose over), while the infallible `read_block`/`write_block` the
+/// buffer pools call panic on failure — with the `StorageError` itself as
+/// the panic payload, so a driver can still recover the typed error with
+/// [`downcast_storage_error`] after catching the unwind.
 pub trait BlockStore {
     /// Coefficients per block.
     fn block_capacity(&self) -> usize;
@@ -12,23 +21,59 @@ pub trait BlockStore {
     /// Current number of blocks.
     fn num_blocks(&self) -> usize;
 
-    /// Reads block `id` into `buf` (`buf.len() == block_capacity`).
+    /// Reads block `id` into `buf` (`buf.len() == block_capacity`),
+    /// returning a typed error on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range or `buf` has the wrong length —
+    /// those are caller bugs, not storage faults.
+    fn try_read_block(&mut self, id: usize, buf: &mut [f64]) -> Result<(), StorageError>;
+
+    /// Writes `buf` to block `id`, returning a typed error on failure.
     ///
     /// # Panics
     ///
     /// Panics when `id` is out of range or `buf` has the wrong length.
-    fn read_block(&mut self, id: usize, buf: &mut [f64]);
+    fn try_write_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError>;
+
+    /// Grows the store to at least `blocks` blocks, zero-filled. Growing is
+    /// not an I/O-counted operation (allocation, not transfer).
+    fn grow(&mut self, blocks: usize);
+
+    /// Reads block `id` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range, `buf` has the wrong length, or
+    /// the transfer fails; the panic payload is the [`StorageError`].
+    fn read_block(&mut self, id: usize, buf: &mut [f64]) {
+        if let Err(e) = self.try_read_block(id, buf) {
+            std::panic::panic_any(e);
+        }
+    }
 
     /// Writes `buf` to block `id`.
     ///
     /// # Panics
     ///
-    /// Panics when `id` is out of range or `buf` has the wrong length.
-    fn write_block(&mut self, id: usize, buf: &[f64]);
+    /// Panics when `id` is out of range, `buf` has the wrong length, or
+    /// the transfer fails; the panic payload is the [`StorageError`].
+    fn write_block(&mut self, id: usize, buf: &[f64]) {
+        if let Err(e) = self.try_write_block(id, buf) {
+            std::panic::panic_any(e);
+        }
+    }
+}
 
-    /// Grows the store to at least `blocks` blocks, zero-filled. Growing is
-    /// not an I/O-counted operation (allocation, not transfer).
-    fn grow(&mut self, blocks: usize);
+/// Recovers the typed [`StorageError`] from a caught panic payload (as
+/// produced by the infallible [`BlockStore`] methods), or resumes the
+/// unwind when the panic was something else entirely.
+pub fn downcast_storage_error(payload: Box<dyn std::any::Any + Send + 'static>) -> StorageError {
+    match payload.downcast::<StorageError>() {
+        Ok(e) => *e,
+        Err(other) => std::panic::resume_unwind(other),
+    }
 }
 
 #[cfg(test)]

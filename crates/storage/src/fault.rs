@@ -1,0 +1,258 @@
+//! Deterministic fault injection for storage testing.
+//!
+//! [`FaultInjectingBlockStore`] wraps any [`BlockStore`] and makes a
+//! seeded pseudo-random fraction of its operations fail — the test double
+//! behind the durability story: retries are exercised against *transient*
+//! read/write errors, and torn-write / bit-flip modes model the
+//! corruption classes the checksum layer does and does not cover (the
+//! full matrix is in DESIGN.md §9).
+//!
+//! Determinism: all randomness comes from one SplitMix64 stream seeded by
+//! [`FaultConfig::seed`], advanced once per decision, so a given seed and
+//! operation sequence always faults the same operations — failures
+//! reproduce exactly across runs and machines. A retried operation rolls
+//! again, so transient faults clear with the probability the rates imply.
+
+use crate::block::BlockStore;
+use crate::error::StorageError;
+use ss_obs::Counter;
+
+/// Fault rates and the seed driving them. Rates are probabilities in
+/// `[0, 1]` applied independently per operation.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability a read fails with [`StorageError::Injected`] before
+    /// touching the inner store.
+    pub read_error_rate: f64,
+    /// Probability a write fails with [`StorageError::Injected`] before
+    /// touching the inner store.
+    pub write_error_rate: f64,
+    /// Probability a write persists only the first half of the block
+    /// (tail zeroed) and then reports failure — a torn multi-sector
+    /// write observed *above* the inner store's checksum layer.
+    pub torn_write_rate: f64,
+    /// Probability a successful read has one random bit of one
+    /// coefficient flipped after checksum verification — silent
+    /// memory/bus corruption that checksums cannot catch.
+    pub bit_flip_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0x5EED_F417,
+            read_error_rate: 0.0,
+            write_error_rate: 0.0,
+            torn_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config injecting only transient read errors at `rate`.
+    pub fn read_errors(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            read_error_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A [`BlockStore`] wrapper that injects deterministic, seeded faults.
+pub struct FaultInjectingBlockStore<S: BlockStore> {
+    inner: S,
+    config: FaultConfig,
+    state: u64,
+    injected_reads: Counter,
+    injected_writes: Counter,
+    torn_writes: Counter,
+    bit_flips: Counter,
+}
+
+impl<S: BlockStore> FaultInjectingBlockStore<S> {
+    /// Wraps `inner` under `config`.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        let registry = ss_obs::global();
+        FaultInjectingBlockStore {
+            inner,
+            state: config.seed,
+            config,
+            injected_reads: registry.counter("storage.faults_injected_read"),
+            injected_writes: registry.counter("storage.faults_injected_write"),
+            torn_writes: registry.counter("storage.faults_torn_writes"),
+            bit_flips: registry.counter("storage.faults_bit_flips"),
+        }
+    }
+
+    /// The active fault configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// SplitMix64 step — the sole entropy source.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One Bernoulli roll at probability `rate`.
+    fn roll(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+}
+
+impl<S: BlockStore> BlockStore for FaultInjectingBlockStore<S> {
+    fn block_capacity(&self) -> usize {
+        self.inner.block_capacity()
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.inner.num_blocks()
+    }
+
+    fn try_read_block(&mut self, id: usize, buf: &mut [f64]) -> Result<(), StorageError> {
+        if self.roll(self.config.read_error_rate) {
+            self.injected_reads.inc();
+            return Err(StorageError::Injected {
+                op: "read",
+                block: id,
+            });
+        }
+        self.inner.try_read_block(id, buf)?;
+        if self.roll(self.config.bit_flip_rate) {
+            let slot = (self.next_u64() % buf.len() as u64) as usize;
+            let bit = self.next_u64() % 64;
+            buf[slot] = f64::from_bits(buf[slot].to_bits() ^ (1u64 << bit));
+            self.bit_flips.inc();
+        }
+        Ok(())
+    }
+
+    fn try_write_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError> {
+        if self.roll(self.config.write_error_rate) {
+            self.injected_writes.inc();
+            return Err(StorageError::Injected {
+                op: "write",
+                block: id,
+            });
+        }
+        if self.roll(self.config.torn_write_rate) {
+            // Persist only the first half of the block, then fail: the
+            // caller believes the write did not happen, the device holds
+            // torn contents. A retry that later succeeds heals it.
+            let mut torn = buf.to_vec();
+            for v in torn.iter_mut().skip(buf.len() / 2) {
+                *v = 0.0;
+            }
+            self.inner.try_write_block(id, &torn)?;
+            self.torn_writes.inc();
+            return Err(StorageError::Injected {
+                op: "write",
+                block: id,
+            });
+        }
+        self.inner.try_write_block(id, buf)
+    }
+
+    fn grow(&mut self, blocks: usize) {
+        self.inner.grow(blocks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBlockStore;
+    use crate::stats::IoStats;
+
+    fn mem(blocks: usize) -> MemBlockStore {
+        MemBlockStore::new(4, blocks, IoStats::new())
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let mut s = FaultInjectingBlockStore::new(mem(4), FaultConfig::default());
+        let mut buf = [0.0; 4];
+        s.try_write_block(1, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        s.try_read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = FaultInjectingBlockStore::new(mem(4), FaultConfig::read_errors(0.5, seed));
+            let mut buf = [0.0; 4];
+            (0..64)
+                .map(|i| s.try_read_block(i % 4, &mut buf).is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds fault differently");
+        assert!(run(42).iter().any(|&f| f) && run(42).iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn injected_read_errors_are_transient_and_typed() {
+        let mut s = FaultInjectingBlockStore::new(mem(2), FaultConfig::read_errors(1.0, 7));
+        let mut buf = [0.0; 4];
+        match s.try_read_block(0, &mut buf) {
+            Err(e @ StorageError::Injected { op: "read", .. }) => assert!(e.is_transient()),
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_write_persists_half_a_block_then_fails() {
+        let cfg = FaultConfig {
+            torn_write_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut s = FaultInjectingBlockStore::new(mem(2), cfg);
+        assert!(s.try_write_block(0, &[1.0, 2.0, 3.0, 4.0]).is_err());
+        let mut inner = s.into_inner();
+        let mut buf = [9.0; 4];
+        inner.try_read_block(0, &mut buf).unwrap();
+        assert_eq!(buf, [1.0, 2.0, 0.0, 0.0], "tail must be torn off");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let cfg = FaultConfig {
+            bit_flip_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut s = FaultInjectingBlockStore::new(mem(2), cfg);
+        let orig = [1.0, 2.0, 3.0, 4.0];
+        s.try_write_block(0, &orig).unwrap();
+        let mut buf = [0.0; 4];
+        s.try_read_block(0, &mut buf).unwrap();
+        let flipped_bits: u32 = orig
+            .iter()
+            .zip(&buf)
+            .map(|(a, b)| (a.to_bits() ^ b.to_bits()).count_ones())
+            .sum();
+        assert_eq!(flipped_bits, 1);
+    }
+}

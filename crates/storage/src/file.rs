@@ -4,91 +4,341 @@
 //! little-endian `f64`s. The paper's experiments are "accurate
 //! implementations of the operations on real disks with real disk blocks" —
 //! this store is what makes the repository's experiments comparable.
+//!
+//! # Durability (format v2)
+//!
+//! A v2 store carries a *checksum sidecar* (`<name>.crc`, see
+//! `docs/FORMAT.md`): one CRC-32 per block, verified on every read and
+//! refreshed on every write. Bit rot, torn writes and crash windows all
+//! surface as a typed [`StorageError::Checksum`] instead of silently
+//! corrupting every later query. Legacy v1 stores (no sidecar) still open
+//! through [`FileBlockStore::open_v1`], but only read-only. Writeback
+//! ordering is *block first, CRC second*: a crash between the two leaves a
+//! detectable mismatch, never a silently wrong block.
 
 use crate::block::BlockStore;
+use crate::crc::crc32;
+use crate::error::{ScrubReport, StorageError};
 use crate::stats::IoStats;
-use ss_obs::Histogram;
+use ss_obs::{Counter, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// A [`BlockStore`] over a file on disk.
+/// Magic bytes opening a checksum sidecar file.
+const SIDECAR_MAGIC: &[u8; 8] = b"SSWSCRC\x01";
+/// Sidecar header size in bytes (the magic).
+const SIDECAR_HEADER: u64 = 8;
+
+/// Path of the checksum sidecar belonging to the blocks file at `path`
+/// (`<path>.crc`). Exposed so callers that move or rewrite a blocks file
+/// (e.g. domain expansion) can move its sidecar alongside it.
+pub fn sidecar_path(path: &Path) -> PathBuf {
+    Sidecar::path_for(path)
+}
+
+/// The checksum sidecar: `SIDECAR_MAGIC` followed by one little-endian
+/// CRC-32 per block, in block order.
+struct Sidecar {
+    file: File,
+}
+
+impl Sidecar {
+    /// Path of the sidecar belonging to the blocks file at `path`.
+    fn path_for(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".crc");
+        PathBuf::from(p)
+    }
+
+    /// Creates (truncating) a sidecar covering `blocks` zero-filled blocks.
+    fn create(path: &Path, blocks: usize, zero_crc: u32) -> Result<Sidecar, StorageError> {
+        let sc_path = Sidecar::path_for(path);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&sc_path)
+            .map_err(|e| StorageError::io(format!("create {}", sc_path.display()), e))?;
+        let mut bytes = Vec::with_capacity(SIDECAR_HEADER as usize + blocks * 4);
+        bytes.extend_from_slice(SIDECAR_MAGIC);
+        for _ in 0..blocks {
+            bytes.extend_from_slice(&zero_crc.to_le_bytes());
+        }
+        file.write_all(&bytes)
+            .map_err(|e| StorageError::io("write checksum sidecar", e))?;
+        Ok(Sidecar { file })
+    }
+
+    /// Opens an existing sidecar, validating magic and length for
+    /// `blocks` blocks.
+    fn open(path: &Path, blocks: usize) -> Result<Sidecar, StorageError> {
+        let sc_path = Sidecar::path_for(path);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&sc_path)
+            .map_err(|e| StorageError::io(format!("open {}", sc_path.display()), e))?;
+        let mut magic = [0u8; SIDECAR_HEADER as usize];
+        file.read_exact(&mut magic)
+            .map_err(|e| StorageError::io("read sidecar magic", e))?;
+        if &magic != SIDECAR_MAGIC {
+            return Err(StorageError::Meta("bad checksum-sidecar magic".into()));
+        }
+        let expected = SIDECAR_HEADER + blocks as u64 * 4;
+        let actual = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat checksum sidecar", e))?
+            .len();
+        if actual < expected {
+            return Err(StorageError::Geometry { expected, actual });
+        }
+        Ok(Sidecar { file })
+    }
+
+    /// The recorded CRC of block `id`.
+    fn read(&mut self, id: usize) -> Result<u32, StorageError> {
+        let mut le = [0u8; 4];
+        self.file
+            .seek(SeekFrom::Start(SIDECAR_HEADER + id as u64 * 4))
+            .and_then(|_| self.file.read_exact(&mut le))
+            .map_err(|e| StorageError::io(format!("read crc of block {id}"), e))?;
+        Ok(u32::from_le_bytes(le))
+    }
+
+    /// Records `crc` as block `id`'s checksum.
+    fn write(&mut self, id: usize, crc: u32) -> Result<(), StorageError> {
+        self.file
+            .seek(SeekFrom::Start(SIDECAR_HEADER + id as u64 * 4))
+            .and_then(|_| self.file.write_all(&crc.to_le_bytes()))
+            .map_err(|e| StorageError::io(format!("write crc of block {id}"), e))
+    }
+
+    /// Appends zero-block CRCs for blocks `from..to`.
+    fn grow(&mut self, from: usize, to: usize, zero_crc: u32) -> Result<(), StorageError> {
+        let mut bytes = Vec::with_capacity((to - from) * 4);
+        for _ in from..to {
+            bytes.extend_from_slice(&zero_crc.to_le_bytes());
+        }
+        self.file
+            .seek(SeekFrom::Start(SIDECAR_HEADER + from as u64 * 4))
+            .and_then(|_| self.file.write_all(&bytes))
+            .map_err(|e| StorageError::io("grow checksum sidecar", e))
+    }
+}
+
+/// A [`BlockStore`] over a file on disk, with optional per-block CRC-32
+/// verification (format v2).
 pub struct FileBlockStore {
     file: File,
     capacity: usize,
     blocks: usize,
     byte_buf: Vec<u8>,
     stats: IoStats,
+    /// `Some` for v2 stores; `None` for legacy v1 stores (which are then
+    /// read-only).
+    sidecar: Option<Sidecar>,
+    read_only: bool,
+    /// CRC of an all-zero block of this capacity, memoised for `grow`.
+    zero_crc: u32,
     // Handles into the global metrics registry, resolved once here so the
     // per-op record is a lock-free fetch_add, not a name lookup.
     read_ns: Histogram,
     write_ns: Histogram,
+    checksum_failures: Counter,
 }
 
 impl FileBlockStore {
-    /// Creates (truncating) a zero-filled store at `path` with `blocks`
-    /// blocks of `capacity` coefficients.
+    /// Creates (truncating) a zero-filled v2 store at `path` with `blocks`
+    /// blocks of `capacity` coefficients, plus its `.crc` checksum sidecar.
     pub fn create(
         path: &Path,
         capacity: usize,
         blocks: usize,
         stats: IoStats,
-    ) -> std::io::Result<Self> {
+    ) -> Result<Self, StorageError> {
         assert!(capacity >= 1);
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
-        file.set_len((capacity * blocks * 8) as u64)?;
-        Ok(FileBlockStore {
+            .open(path)
+            .map_err(|e| StorageError::io(format!("create {}", path.display()), e))?;
+        file.set_len((capacity * blocks * 8) as u64)
+            .map_err(|e| StorageError::io("size blocks file", e))?;
+        let zero_crc = crc32(&vec![0u8; capacity * 8]);
+        let sidecar = Sidecar::create(path, blocks, zero_crc)?;
+        Ok(Self::assemble(
             file,
             capacity,
             blocks,
-            byte_buf: vec![0u8; capacity * 8],
             stats,
-            read_ns: ss_obs::global().histogram("storage.block_read_ns"),
-            write_ns: ss_obs::global().histogram("storage.block_write_ns"),
-        })
+            Some(sidecar),
+            false,
+            zero_crc,
+        ))
     }
 
-    /// Opens an existing store created earlier with [`FileBlockStore::create`].
+    /// Opens an existing v2 store created earlier with
+    /// [`FileBlockStore::create`]; the `.crc` sidecar must be present.
     ///
     /// # Errors
     ///
-    /// Fails when the file is missing or smaller than the declared geometry.
+    /// Fails when the blocks file or sidecar is missing, the sidecar magic
+    /// is wrong, or either file is smaller than the declared geometry.
     pub fn open(
         path: &Path,
         capacity: usize,
         blocks: usize,
         stats: IoStats,
-    ) -> std::io::Result<Self> {
+    ) -> Result<Self, StorageError> {
+        let file = Self::open_blocks_file(path, capacity, blocks)?;
+        let sidecar = Sidecar::open(path, blocks)?;
+        let zero_crc = crc32(&vec![0u8; capacity * 8]);
+        Ok(Self::assemble(
+            file,
+            capacity,
+            blocks,
+            stats,
+            Some(sidecar),
+            false,
+            zero_crc,
+        ))
+    }
+
+    /// Opens a legacy v1 store (no checksum sidecar), **read-only**: every
+    /// write returns [`StorageError::ReadOnly`]. Queries still work;
+    /// maintenance requires re-ingesting into a v2 store.
+    pub fn open_v1(
+        path: &Path,
+        capacity: usize,
+        blocks: usize,
+        stats: IoStats,
+    ) -> Result<Self, StorageError> {
+        let file = Self::open_blocks_file(path, capacity, blocks)?;
+        let zero_crc = crc32(&vec![0u8; capacity * 8]);
+        Ok(Self::assemble(
+            file, capacity, blocks, stats, None, true, zero_crc,
+        ))
+    }
+
+    fn open_blocks_file(path: &Path, capacity: usize, blocks: usize) -> Result<File, StorageError> {
         assert!(capacity >= 1);
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::io(format!("open {}", path.display()), e))?;
         let expected = (capacity * blocks * 8) as u64;
-        let actual = file.metadata()?.len();
+        let actual = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat blocks file", e))?
+            .len();
         if actual < expected {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("store holds {actual} bytes, geometry needs {expected}"),
-            ));
+            return Err(StorageError::Geometry { expected, actual });
         }
-        Ok(FileBlockStore {
+        Ok(file)
+    }
+
+    fn assemble(
+        file: File,
+        capacity: usize,
+        blocks: usize,
+        stats: IoStats,
+        sidecar: Option<Sidecar>,
+        read_only: bool,
+        zero_crc: u32,
+    ) -> Self {
+        FileBlockStore {
             file,
             capacity,
             blocks,
             byte_buf: vec![0u8; capacity * 8],
             stats,
+            sidecar,
+            read_only,
+            zero_crc,
             read_ns: ss_obs::global().histogram("storage.block_read_ns"),
             write_ns: ss_obs::global().histogram("storage.block_write_ns"),
-        })
+            checksum_failures: ss_obs::global().counter("storage.checksum_failures"),
+        }
     }
 
     /// The shared counters.
     pub fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    /// Whether reads are CRC-verified (false only for legacy v1 stores).
+    pub fn checksummed(&self) -> bool {
+        self.sidecar.is_some()
+    }
+
+    /// Whether writes are rejected (legacy v1 stores open read-only).
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Flushes OS buffers of the blocks file and sidecar to stable
+    /// storage (`fsync`).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("fsync blocks file", e))?;
+        if let Some(sc) = &mut self.sidecar {
+            sc.file
+                .sync_data()
+                .map_err(|e| StorageError::io("fsync checksum sidecar", e))?;
+        }
+        Ok(())
+    }
+
+    /// Scans every block, recomputing its CRC-32 and comparing it to the
+    /// sidecar — the full-file scrub behind `shiftsplit scrub` and
+    /// [`WsFile::verify`](crate::WsFile::verify).
+    ///
+    /// Scrub traffic is maintenance, not experiment workload, so it does
+    /// **not** count into [`IoStats`]; progress appears in the global
+    /// metrics registry as `scrub.blocks_scanned` / `scrub.corruptions`.
+    /// Corruption is reported in the [`ScrubReport`]; only environmental
+    /// failures (unreadable file, bad geometry) are `Err`.
+    pub fn scrub(&mut self) -> Result<ScrubReport, StorageError> {
+        let expected = (self.capacity * self.blocks * 8) as u64;
+        let actual = self
+            .file
+            .metadata()
+            .map_err(|e| StorageError::io("stat blocks file", e))?
+            .len();
+        if actual < expected {
+            return Err(StorageError::Geometry { expected, actual });
+        }
+        let scanned = ss_obs::global().counter("scrub.blocks_scanned");
+        let corruptions = ss_obs::global().counter("scrub.corruptions");
+        let mut report = ScrubReport {
+            blocks: self.blocks,
+            corrupt: Vec::new(),
+            checksummed: self.sidecar.is_some(),
+        };
+        let nbytes = self.capacity * 8;
+        for id in 0..self.blocks {
+            self.file
+                .seek(SeekFrom::Start((id * nbytes) as u64))
+                .and_then(|_| self.file.read_exact(&mut self.byte_buf))
+                .map_err(|e| StorageError::io(format!("scrub read of block {id}"), e))?;
+            if let Some(sc) = &mut self.sidecar {
+                let stored = sc.read(id)?;
+                if stored != crc32(&self.byte_buf) {
+                    report.corrupt.push(id);
+                    corruptions.inc();
+                    self.checksum_failures.inc();
+                }
+            }
+            scanned.inc();
+        }
+        Ok(report)
     }
 
     fn block_bytes(&self) -> usize {
@@ -105,17 +355,27 @@ impl BlockStore for FileBlockStore {
         self.blocks
     }
 
-    fn read_block(&mut self, id: usize, buf: &mut [f64]) {
+    fn try_read_block(&mut self, id: usize, buf: &mut [f64]) -> Result<(), StorageError> {
         assert!(id < self.blocks, "block {id} out of range");
         assert_eq!(buf.len(), self.capacity);
         let t0 = Instant::now();
         let nbytes = self.block_bytes();
         self.file
             .seek(SeekFrom::Start((id * nbytes) as u64))
-            .expect("seek failed");
-        self.file
-            .read_exact(&mut self.byte_buf)
-            .expect("block read failed");
+            .and_then(|_| self.file.read_exact(&mut self.byte_buf))
+            .map_err(|e| StorageError::io(format!("read block {id}"), e))?;
+        if let Some(sc) = &mut self.sidecar {
+            let stored = sc.read(id)?;
+            let computed = crc32(&self.byte_buf);
+            if stored != computed {
+                self.checksum_failures.inc();
+                return Err(StorageError::Checksum {
+                    block: id,
+                    stored,
+                    computed,
+                });
+            }
+        }
         for (i, v) in buf.iter_mut().enumerate() {
             let mut le = [0u8; 8];
             le.copy_from_slice(&self.byte_buf[i * 8..i * 8 + 8]);
@@ -123,24 +383,33 @@ impl BlockStore for FileBlockStore {
         }
         self.read_ns.record(t0.elapsed().as_nanos() as u64);
         self.stats.add_block_reads(1);
+        Ok(())
     }
 
-    fn write_block(&mut self, id: usize, buf: &[f64]) {
+    fn try_write_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError> {
         assert!(id < self.blocks, "block {id} out of range");
         assert_eq!(buf.len(), self.capacity);
+        if self.read_only {
+            return Err(StorageError::ReadOnly);
+        }
         let t0 = Instant::now();
         for (i, &v) in buf.iter().enumerate() {
             self.byte_buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
         let nbytes = self.block_bytes();
+        // Ordering: block contents first, CRC second. A crash in between
+        // leaves a mismatch the next read (or scrub) detects — never a
+        // silently wrong block (see DESIGN.md §9).
         self.file
             .seek(SeekFrom::Start((id * nbytes) as u64))
-            .expect("seek failed");
-        self.file
-            .write_all(&self.byte_buf)
-            .expect("block write failed");
+            .and_then(|_| self.file.write_all(&self.byte_buf))
+            .map_err(|e| StorageError::io(format!("write block {id}"), e))?;
+        if let Some(sc) = &mut self.sidecar {
+            sc.write(id, crc32(&self.byte_buf))?;
+        }
         self.write_ns.record(t0.elapsed().as_nanos() as u64);
         self.stats.add_block_writes(1);
+        Ok(())
     }
 
     fn grow(&mut self, blocks: usize) {
@@ -148,6 +417,10 @@ impl BlockStore for FileBlockStore {
             self.file
                 .set_len((self.capacity * blocks * 8) as u64)
                 .expect("grow failed");
+            if let Some(sc) = &mut self.sidecar {
+                sc.grow(self.blocks, blocks, self.zero_crc)
+                    .expect("grow sidecar failed");
+            }
             self.blocks = blocks;
         }
     }
@@ -164,12 +437,17 @@ mod tests {
         p
     }
 
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(Sidecar::path_for(path));
+    }
+
     #[test]
     fn roundtrip() {
         let path = tmp("roundtrip");
         let mut store = FileBlockStore::create(&path, 8, 4, IoStats::new()).unwrap();
         testsuite::roundtrip(&mut store);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -177,7 +455,7 @@ mod tests {
         let path = tmp("grow");
         let mut store = FileBlockStore::create(&path, 8, 4, IoStats::new()).unwrap();
         testsuite::grow_preserves(&mut store);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -186,7 +464,7 @@ mod tests {
         let stats = IoStats::new();
         let mut store = FileBlockStore::create(&path, 8, 4, stats.clone()).unwrap();
         testsuite::counts_io(&mut store, &stats);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -203,7 +481,7 @@ mod tests {
         store.read_block(0, &mut buf);
         assert_eq!(reads.count(), r0 + 1);
         assert_eq!(writes.count(), w0 + 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -220,6 +498,121 @@ mod tests {
         let mut le = [0u8; 8];
         le.copy_from_slice(&bytes[4 * 8..4 * 8 + 8]);
         assert_eq!(f64::from_le_bytes(le), 1.0);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checksums_catch_on_disk_bit_rot() {
+        let path = tmp("bitrot");
+        let mut store = FileBlockStore::create(&path, 4, 3, IoStats::new()).unwrap();
+        store.write_block(1, &[1.0, 2.0, 3.0, 4.0]);
+        drop(store);
+        // Flip one bit of block 1 behind the store's back.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4 * 8 + 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = FileBlockStore::open(&path, 4, 3, IoStats::new()).unwrap();
+        let mut buf = [0.0; 4];
+        // Untouched blocks still read fine.
+        store.try_read_block(0, &mut buf).unwrap();
+        match store.try_read_block(1, &mut buf) {
+            Err(StorageError::Checksum { block: 1, .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // The scrub sees exactly the one corrupt block.
+        let report = store.scrub().unwrap();
+        assert_eq!(report.corrupt, vec![1]);
+        assert!(report.checksummed);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_crc_after_out_of_band_rewrite_is_detected() {
+        // Models the crash window between "block written" and "CRC
+        // updated": the sidecar entry is stale, so the read must fail.
+        let path = tmp("stalecrc");
+        let mut store = FileBlockStore::create(&path, 4, 2, IoStats::new()).unwrap();
+        store.write_block(0, &[5.0; 4]);
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0..8].copy_from_slice(&7.0f64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = FileBlockStore::open(&path, 4, 2, IoStats::new()).unwrap();
+        let mut buf = [0.0; 4];
+        assert!(matches!(
+            store.try_read_block(0, &mut buf),
+            Err(StorageError::Checksum { block: 0, .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_requires_sidecar_but_open_v1_does_not() {
+        let path = tmp("v1compat");
+        // A bare v1 blocks file: raw f64s, no sidecar.
+        std::fs::write(&path, vec![0u8; 4 * 2 * 8]).unwrap();
+        assert!(FileBlockStore::open(&path, 4, 2, IoStats::new()).is_err());
+        let mut store = FileBlockStore::open_v1(&path, 4, 2, IoStats::new()).unwrap();
+        assert!(!store.checksummed());
+        assert!(store.read_only());
+        let mut buf = [0.0; 4];
+        store.try_read_block(0, &mut buf).unwrap();
+        assert!(matches!(
+            store.try_write_block(0, &buf),
+            Err(StorageError::ReadOnly)
+        ));
+        // Scrubbing a v1 store checks geometry/readability only.
+        let report = store.scrub().unwrap();
+        assert!(!report.checksummed && report.is_clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn grow_extends_sidecar_consistently() {
+        let path = tmp("growcrc");
+        let mut store = FileBlockStore::create(&path, 4, 2, IoStats::new()).unwrap();
+        store.write_block(1, &[9.0; 4]);
+        store.grow(6);
+        let mut buf = [0.0; 4];
+        // New blocks read back as zeros with valid CRCs.
+        for id in 2..6 {
+            store.try_read_block(id, &mut buf).unwrap();
+            assert!(buf.iter().all(|&v| v == 0.0));
+        }
+        assert!(store.scrub().unwrap().is_clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_sidecar_magic_is_rejected() {
+        let path = tmp("badmagic");
+        let store = FileBlockStore::create(&path, 4, 2, IoStats::new()).unwrap();
+        drop(store);
+        let sc = Sidecar::path_for(&path);
+        let mut bytes = std::fs::read(&sc).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&sc, &bytes).unwrap();
+        assert!(FileBlockStore::open(&path, 4, 2, IoStats::new()).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn infallible_read_panics_with_typed_payload() {
+        let path = tmp("panicpayload");
+        let mut store = FileBlockStore::create(&path, 4, 2, IoStats::new()).unwrap();
+        store.write_block(0, &[3.0; 4]);
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = FileBlockStore::open(&path, 4, 2, IoStats::new()).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut buf = [0.0; 4];
+            store.read_block(0, &mut buf);
+        }))
+        .expect_err("read of a corrupt block must panic");
+        let typed = crate::block::downcast_storage_error(err);
+        assert!(matches!(typed, StorageError::Checksum { block: 0, .. }));
+        cleanup(&path);
     }
 }

@@ -1,4 +1,4 @@
-//! Disk-block storage substrate with exact I/O accounting.
+//! Disk-block storage substrate with exact I/O accounting and durability.
 //!
 //! The paper measures every algorithm in *disk-block I/Os* under the optimal
 //! coefficient-to-block allocation of its Section 3. This crate provides the
@@ -7,6 +7,13 @@
 //! * [`BlockStore`] — a fixed-capacity block device abstraction, with an
 //!   in-memory implementation ([`MemBlockStore`]) and a real file-backed one
 //!   ([`FileBlockStore`]) that issues actual positioned reads and writes,
+//!   CRC-verified on every read,
+//! * [`StorageError`] — the typed fault vocabulary (I/O, checksum mismatch,
+//!   geometry, read-only, injected, retries-exhausted) every fallible path
+//!   speaks,
+//! * [`FaultInjectingBlockStore`] / [`RetryingBlockStore`] — composable
+//!   wrappers for deterministic seeded fault injection and bounded-backoff
+//!   retries,
 //! * [`IoStats`] — shared atomic counters of block reads/writes and
 //!   coefficient accesses,
 //! * [`BufferPool`] — an LRU cache over a block store with a configurable
@@ -19,23 +26,59 @@
 //!   [`TilingMap`](ss_core::TilingMap) (subtree tiles or the naive row-major
 //!   baseline), the object every out-of-core algorithm in `ss-transform`
 //!   and every query in `ss-query` runs against,
-//! * [`WsFile`] — the persistent `.ws` store format (blocks file plus a
-//!   `.meta` text header), openable by any library user, not just the CLI.
+//! * [`WsFile`] — the persistent `.ws` store format (blocks file, `.crc`
+//!   checksum sidecar, `.meta` text header — see `docs/FORMAT.md`), with
+//!   crash-safe metadata updates and a full-file scrub
+//!   ([`WsFile::verify`]).
+//!
+//! # Example
+//!
+//! Create a checksummed store, write a coefficient, reopen and scrub it:
+//!
+//! ```
+//! use ss_storage::{Meta, WsFile};
+//!
+//! let dir = std::env::temp_dir().join(format!("ss_doc_{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("demo.ws");
+//!
+//! // 8×8 domain, 2×2 tiles, appending along axis 1.
+//! let meta = Meta::new(vec![3, 3], vec![1, 1], 0, 1);
+//! let mut ws = WsFile::create(&path, meta).unwrap();
+//! ws.store.write(&[2, 5], 42.5);
+//! ws.sync().unwrap();
+//! drop(ws);
+//!
+//! let mut ws = WsFile::open(&path).unwrap();
+//! assert_eq!(ws.store.read(&[2, 5]), 42.5);
+//! let report = ws.verify().unwrap();           // CRC-scrub every block
+//! assert!(report.is_clean());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod block;
+pub mod crc;
+pub mod error;
+pub mod fault;
 pub mod file;
 pub mod mem;
 pub mod pool;
+pub mod retry;
 pub mod shard;
 pub mod stats;
 pub mod wsfile;
 pub mod wstore;
 
-pub use block::BlockStore;
+pub use block::{downcast_storage_error, BlockStore};
+pub use error::{ScrubReport, StorageError};
+pub use fault::{FaultConfig, FaultInjectingBlockStore};
 pub use file::FileBlockStore;
 pub use mem::MemBlockStore;
 pub use pool::BufferPool;
+pub use retry::{RetryPolicy, RetryingBlockStore};
 pub use shard::{mem_shared_store, ShardCounters, ShardedBufferPool, SharedCoeffStore};
 pub use stats::{IoSnapshot, IoStats};
-pub use wsfile::{Meta, WsFile};
+pub use wsfile::{Meta, WsFile, FORMAT_VERSION};
 pub use wstore::CoeffStore;

@@ -1,6 +1,7 @@
 //! In-memory block store.
 
 use crate::block::BlockStore;
+use crate::error::StorageError;
 use crate::stats::IoStats;
 
 /// A [`BlockStore`] backed by a `Vec<f64>`; transfers are still counted, so
@@ -37,18 +38,20 @@ impl BlockStore for MemBlockStore {
         self.data.len() / self.capacity
     }
 
-    fn read_block(&mut self, id: usize, buf: &mut [f64]) {
+    fn try_read_block(&mut self, id: usize, buf: &mut [f64]) -> Result<(), StorageError> {
         assert_eq!(buf.len(), self.capacity, "buffer/block size mismatch");
         let start = id * self.capacity;
         buf.copy_from_slice(&self.data[start..start + self.capacity]);
         self.stats.add_block_reads(1);
+        Ok(())
     }
 
-    fn write_block(&mut self, id: usize, buf: &[f64]) {
+    fn try_write_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError> {
         assert_eq!(buf.len(), self.capacity, "buffer/block size mismatch");
         let start = id * self.capacity;
         self.data[start..start + self.capacity].copy_from_slice(buf);
         self.stats.add_block_writes(1);
+        Ok(())
     }
 
     fn grow(&mut self, blocks: usize) {

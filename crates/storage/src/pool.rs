@@ -55,6 +55,13 @@ impl<S: BlockStore> BufferPool<S> {
         &self.store
     }
 
+    /// Mutable access to the wrapped store — for maintenance operations
+    /// (scrub, fsync) that bypass the cache. Flush first if dirty frames
+    /// must be visible to the store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
     /// Reads one coefficient of block `id`.
     pub fn read(&mut self, id: usize, slot: usize) -> f64 {
         self.touch(id);

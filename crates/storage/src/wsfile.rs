@@ -1,27 +1,43 @@
 //! Persistent wavelet-store files.
 //!
-//! A store is a pair of files: `<name>` holds the tiled coefficient blocks
-//! (via [`FileBlockStore`]), `<name>.meta` a small `key = value` text header
-//! describing the geometry, so a store can be reopened across process runs:
+//! A store is a trio of files: `<name>` holds the tiled coefficient blocks
+//! (via [`FileBlockStore`]), `<name>.crc` one CRC-32 per block (format v2;
+//! see `docs/FORMAT.md` for the normative spec), and `<name>.meta` a small
+//! `key = value` text header describing the geometry, so a store can be
+//! reopened across process runs:
 //!
 //! ```text
 //! format  = shiftsplit-ws
-//! version = 1
+//! version = 2
 //! levels  = 3,3,5        # per-axis log2 domain sizes
 //! tiles   = 2,2,2        # per-axis log2 tile sides
 //! filled  = 96           # cells filled along the append axis
 //! axis    = 2            # append axis
 //! ```
+//!
+//! Version history: v1 had no checksum sidecar. v1 stores still open —
+//! read-only — through [`WsFile::open`]; every newly created store is v2.
+//! Metadata updates are crash-safe: [`WsFile::save_meta`] writes a temp
+//! file, fsyncs it, and atomically renames it over the old header, so a
+//! crash at any instant leaves either the old meta or the new one intact,
+//! never a torn mixture.
 
+use crate::error::{ScrubReport, StorageError};
 use crate::{CoeffStore, FileBlockStore, IoStats};
 use ss_core::tiling::StandardTiling;
 use ss_core::TilingMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// The `.ws` format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Geometry and bookkeeping persisted in the `.meta` file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Meta {
+    /// On-disk format version (1 = legacy, no checksums; 2 = current).
+    pub version: u32,
     /// Per-axis `log2` domain sizes.
     pub levels: Vec<u32>,
     /// Per-axis `log2` tile sides.
@@ -33,6 +49,17 @@ pub struct Meta {
 }
 
 impl Meta {
+    /// A current-version ([`FORMAT_VERSION`]) meta with the given geometry.
+    pub fn new(levels: Vec<u32>, tiles: Vec<u32>, filled: usize, axis: usize) -> Meta {
+        Meta {
+            version: FORMAT_VERSION,
+            levels,
+            tiles,
+            filled,
+            axis,
+        }
+    }
+
     /// Serialises to the textual header format.
     pub fn to_text(&self) -> String {
         let join = |v: &[u32]| {
@@ -43,7 +70,7 @@ impl Meta {
         };
         let mut s = String::new();
         let _ = writeln!(s, "format  = shiftsplit-ws");
-        let _ = writeln!(s, "version = 1");
+        let _ = writeln!(s, "version = {}", self.version);
         let _ = writeln!(s, "levels  = {}", join(&self.levels));
         let _ = writeln!(s, "tiles   = {}", join(&self.tiles));
         let _ = writeln!(s, "filled  = {}", self.filled);
@@ -51,8 +78,12 @@ impl Meta {
         s
     }
 
-    /// Parses the textual header format.
-    pub fn from_text(text: &str) -> Result<Meta, String> {
+    /// Parses the textual header format. Accepts versions 1 and 2; a
+    /// missing `version` line means 1 (the line was optional before it
+    /// existed).
+    pub fn from_text(text: &str) -> Result<Meta, StorageError> {
+        let bad = |msg: String| StorageError::Meta(msg);
+        let mut version = 1u32;
         let mut levels = None;
         let mut tiles = None;
         let mut filled = None;
@@ -65,35 +96,51 @@ impl Meta {
             }
             let (key, value) = line
                 .split_once('=')
-                .ok_or_else(|| format!("malformed meta line: {line}"))?;
+                .ok_or_else(|| bad(format!("malformed meta line: {line}")))?;
             let (key, value) = (key.trim(), value.trim());
             match key {
                 "format" => format_ok = value == "shiftsplit-ws",
                 "version" => {
-                    if value != "1" {
-                        return Err(format!("unsupported version {value}"));
+                    version = value
+                        .parse::<u32>()
+                        .map_err(|e| bad(format!("bad version: {e}")))?;
+                    if version == 0 || version > FORMAT_VERSION {
+                        return Err(StorageError::UnsupportedVersion(version));
                     }
                 }
                 "levels" => levels = Some(parse_u32_list(value)?),
                 "tiles" => tiles = Some(parse_u32_list(value)?),
-                "filled" => filled = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
-                "axis" => axis = Some(value.parse::<usize>().map_err(|e| e.to_string())?),
-                other => return Err(format!("unknown meta key: {other}")),
+                "filled" => {
+                    filled = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| bad(format!("bad filled: {e}")))?,
+                    )
+                }
+                "axis" => {
+                    axis = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| bad(format!("bad axis: {e}")))?,
+                    )
+                }
+                other => return Err(bad(format!("unknown meta key: {other}"))),
             }
         }
         if !format_ok {
-            return Err("not a shiftsplit-ws meta file".into());
+            return Err(bad("not a shiftsplit-ws meta file".into()));
         }
-        let levels = levels.ok_or("missing levels")?;
-        let tiles = tiles.ok_or("missing tiles")?;
+        let levels = levels.ok_or_else(|| bad("missing levels".into()))?;
+        let tiles = tiles.ok_or_else(|| bad("missing tiles".into()))?;
         if levels.len() != tiles.len() {
-            return Err("levels/tiles rank mismatch".into());
+            return Err(bad("levels/tiles rank mismatch".into()));
         }
         Ok(Meta {
+            version,
             levels,
             tiles,
-            filled: filled.ok_or("missing filled")?,
-            axis: axis.ok_or("missing axis")?,
+            filled: filled.ok_or_else(|| bad("missing filled".into()))?,
+            axis: axis.ok_or_else(|| bad("missing axis".into()))?,
         })
     }
 
@@ -108,9 +155,13 @@ impl Meta {
     }
 }
 
-fn parse_u32_list(s: &str) -> Result<Vec<u32>, String> {
+fn parse_u32_list(s: &str) -> Result<Vec<u32>, StorageError> {
     s.split(',')
-        .map(|p| p.trim().parse::<u32>().map_err(|e| e.to_string()))
+        .map(|p| {
+            p.trim()
+                .parse::<u32>()
+                .map_err(|e| StorageError::Meta(format!("bad number {p:?}: {e}")))
+        })
         .collect()
 }
 
@@ -118,6 +169,24 @@ fn meta_path(path: &Path) -> PathBuf {
     let mut p = path.as_os_str().to_owned();
     p.push(".meta");
     PathBuf::from(p)
+}
+
+/// Writes `text` to `path` crash-safely: temp file → fsync → atomic
+/// rename. A crash at any instant leaves either the previous file or the
+/// complete new one.
+fn atomic_write(path: &Path, text: &str) -> Result<(), StorageError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| StorageError::io(format!("create {}", tmp.display()), e))?;
+    f.write_all(text.as_bytes())
+        .map_err(|e| StorageError::io("write temp meta", e))?;
+    f.sync_all()
+        .map_err(|e| StorageError::io("fsync temp meta", e))?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| StorageError::io(format!("rename over {}", path.display()), e))
 }
 
 /// An opened persistent store.
@@ -132,15 +201,16 @@ pub struct WsFile {
 }
 
 impl WsFile {
-    /// Creates a fresh, zeroed store (truncates existing files).
-    pub fn create(path: &Path, meta: Meta) -> Result<WsFile, String> {
+    /// Creates a fresh, zeroed store (truncates existing files). The
+    /// store is always written at the current [`FORMAT_VERSION`],
+    /// whatever `meta.version` says.
+    pub fn create(path: &Path, mut meta: Meta) -> Result<WsFile, StorageError> {
+        meta.version = FORMAT_VERSION;
         let map = meta.tiling();
         let stats = IoStats::new();
         let blocks =
-            FileBlockStore::create(path, map.block_capacity(), map.num_tiles(), stats.clone())
-                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-        std::fs::write(meta_path(path), meta.to_text())
-            .map_err(|e| format!("cannot write meta: {e}"))?;
+            FileBlockStore::create(path, map.block_capacity(), map.num_tiles(), stats.clone())?;
+        atomic_write(&meta_path(path), &meta.to_text())?;
         Ok(WsFile {
             store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
             meta,
@@ -149,16 +219,21 @@ impl WsFile {
         })
     }
 
-    /// Opens an existing store.
-    pub fn open(path: &Path) -> Result<WsFile, String> {
-        let text = std::fs::read_to_string(meta_path(path))
-            .map_err(|e| format!("cannot read {}.meta: {e}", path.display()))?;
+    /// Opens an existing store. Current (v2) stores open read-write with
+    /// CRC-verified reads; legacy v1 stores open **read-only** without
+    /// checksums.
+    pub fn open(path: &Path) -> Result<WsFile, StorageError> {
+        let mp = meta_path(path);
+        let text = std::fs::read_to_string(&mp)
+            .map_err(|e| StorageError::io(format!("read {}", mp.display()), e))?;
         let meta = Meta::from_text(&text)?;
         let map = meta.tiling();
         let stats = IoStats::new();
-        let blocks =
-            FileBlockStore::open(path, map.block_capacity(), map.num_tiles(), stats.clone())
-                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        let blocks = if meta.version >= 2 {
+            FileBlockStore::open(path, map.block_capacity(), map.num_tiles(), stats.clone())?
+        } else {
+            FileBlockStore::open_v1(path, map.block_capacity(), map.num_tiles(), stats.clone())?
+        };
         Ok(WsFile {
             store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
             meta,
@@ -184,10 +259,36 @@ impl WsFile {
         }
     }
 
-    /// Persists updated metadata (after appends/expansions).
-    pub fn save_meta(&self) -> Result<(), String> {
-        std::fs::write(meta_path(&self.path), self.meta.to_text())
-            .map_err(|e| format!("cannot write meta: {e}"))
+    /// Persists updated metadata (after appends/expansions) crash-safely:
+    /// temp file → fsync → atomic rename.
+    pub fn save_meta(&self) -> Result<(), StorageError> {
+        if self.read_only() {
+            return Err(StorageError::ReadOnly);
+        }
+        atomic_write(&meta_path(&self.path), &self.meta.to_text())
+    }
+
+    /// Whether this store rejects writes (legacy v1 files always do).
+    pub fn read_only(&self) -> bool {
+        self.meta.version < 2
+    }
+
+    /// Flushes dirty cached blocks, then scrubs the whole blocks file
+    /// against the checksum sidecar — the library face of
+    /// `shiftsplit scrub`. On a v1 store only geometry and readability
+    /// are checked (`report.checksummed == false`).
+    pub fn verify(&mut self) -> Result<ScrubReport, StorageError> {
+        if !self.read_only() {
+            self.store.flush();
+        }
+        self.store.pool().store_mut().scrub()
+    }
+
+    /// Flushes dirty cached blocks and fsyncs the blocks file and
+    /// checksum sidecar to stable storage.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.store.flush();
+        self.store.pool().store_mut().sync()
     }
 
     /// The blocks-file path.
@@ -204,16 +305,42 @@ mod tests {
         std::env::temp_dir().join(format!("ss_wsfile_{name}_{}", std::process::id()))
     }
 
+    fn cleanup(path: &Path) {
+        for ext in ["", ".meta", ".crc", ".meta.tmp"] {
+            let mut p = path.as_os_str().to_owned();
+            p.push(ext);
+            let _ = std::fs::remove_file(PathBuf::from(p));
+        }
+    }
+
     #[test]
     fn meta_roundtrip() {
-        let m = Meta {
-            levels: vec![3, 3, 5],
-            tiles: vec![2, 2, 2],
-            filled: 96,
-            axis: 2,
-        };
+        let m = Meta::new(vec![3, 3, 5], vec![2, 2, 2], 96, 2);
+        assert_eq!(m.version, FORMAT_VERSION);
         let parsed = Meta::from_text(&m.to_text()).unwrap();
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn meta_version_compat() {
+        // No version line → v1 (the line predates the field).
+        let v1 =
+            Meta::from_text("format = shiftsplit-ws\nlevels = 2\ntiles = 1\nfilled = 0\naxis = 0")
+                .unwrap();
+        assert_eq!(v1.version, 1);
+        // Explicit v1 parses; future versions are refused with a typed error.
+        assert_eq!(
+            Meta::from_text(
+                "format = shiftsplit-ws\nversion = 1\nlevels = 2\ntiles = 1\nfilled = 0\naxis = 0"
+            )
+            .unwrap()
+            .version,
+            1
+        );
+        assert!(matches!(
+            Meta::from_text("format = shiftsplit-ws\nversion = 9"),
+            Err(StorageError::UnsupportedVersion(9))
+        ));
     }
 
     #[test]
@@ -231,28 +358,22 @@ mod tests {
         // editor mangling, bit rot) must fail to open with a parse error
         // rather than reinterpreting the blocks file under bogus geometry.
         let path = tmp("corrupt_header");
-        let meta = Meta {
-            levels: vec![3, 3],
-            tiles: vec![1, 1],
-            filled: 0,
-            axis: 1,
-        };
+        let meta = Meta::new(vec![3, 3], vec![1, 1], 0, 1);
         {
             let mut ws = WsFile::create(&path, meta).unwrap();
             ws.store.write(&[1, 2], 5.0);
             ws.store.flush();
         }
         for bad in [
-            "format  = shiftsplit-ws\nversion = 1\nlevels  = 3,3",       // missing keys
-            "format  = shiftsplit-ws\nversion = 1\nlevels  = 3,x\ntiles   = 1,1\nfilled  = 0\naxis    = 1", // non-numeric
-            "format  = shiftsplit-ws\nversion = 1\nlevels  = 3,3\ntiles   = 1\nfilled  = 0\naxis    = 1",   // rank mismatch
+            "format  = shiftsplit-ws\nversion = 2\nlevels  = 3,3",       // missing keys
+            "format  = shiftsplit-ws\nversion = 2\nlevels  = 3,x\ntiles   = 1,1\nfilled  = 0\naxis    = 1", // non-numeric
+            "format  = shiftsplit-ws\nversion = 2\nlevels  = 3,3\ntiles   = 1\nfilled  = 0\naxis    = 1",   // rank mismatch
             "",                                                           // emptied file
         ] {
             std::fs::write(meta_path(&path), bad).unwrap();
             assert!(WsFile::open(&path).is_err(), "accepted header: {bad:?}");
         }
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(meta_path(&path)).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -260,12 +381,7 @@ mod tests {
         // Simulates a crash mid-resize: the meta promises more blocks than
         // the file holds. Open must fail loudly instead of serving zeros.
         let path = tmp("truncated");
-        let meta = Meta {
-            levels: vec![3, 3],
-            tiles: vec![1, 1],
-            filled: 0,
-            axis: 1,
-        };
+        let meta = Meta::new(vec![3, 3], vec![1, 1], 0, 1);
         {
             let mut ws = WsFile::create(&path, meta).unwrap();
             ws.store.write(&[1, 1], 3.0);
@@ -282,9 +398,8 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("open must fail on a truncated store"),
         };
-        assert!(err.contains("bytes"), "unexpected error: {err}");
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(meta_path(&path)).ok();
+        assert!(matches!(err, StorageError::Geometry { .. }), "{err}");
+        cleanup(&path);
     }
 
     #[test]
@@ -292,18 +407,13 @@ mod tests {
         let path = tmp("nometa");
         std::fs::write(&path, vec![0u8; 64]).unwrap();
         assert!(WsFile::open(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
     fn create_write_reopen_read() {
         let path = tmp("roundtrip");
-        let meta = Meta {
-            levels: vec![3, 3],
-            tiles: vec![1, 1],
-            filled: 8,
-            axis: 1,
-        };
+        let meta = Meta::new(vec![3, 3], vec![1, 1], 8, 1);
         {
             let mut ws = WsFile::create(&path, meta.clone()).unwrap();
             ws.store.write(&[2, 5], 42.5);
@@ -312,10 +422,79 @@ mod tests {
         {
             let mut ws = WsFile::open(&path).unwrap();
             assert_eq!(ws.meta, meta);
+            assert!(!ws.read_only());
             assert_eq!(ws.store.read(&[2, 5]), 42.5);
             assert_eq!(ws.store.read(&[0, 0]), 0.0);
         }
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(meta_path(&path)).ok();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn verify_clean_then_detects_bit_rot() {
+        let path = tmp("verify");
+        let meta = Meta::new(vec![2, 2], vec![1, 1], 4, 1);
+        let mut ws = WsFile::create(&path, meta).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                ws.store.write(&[i, j], (i * 4 + j) as f64);
+            }
+        }
+        let report = ws.verify().unwrap();
+        assert!(report.is_clean() && report.checksummed);
+        drop(ws);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut ws = WsFile::open(&path).unwrap();
+        let report = ws.verify().unwrap();
+        assert_eq!(report.corrupt.len(), 1, "{report}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v1_store_opens_read_only() {
+        // Handcraft a v1 store: raw blocks file + version-1 meta, no
+        // sidecar — exactly what this repo wrote before format v2.
+        let path = tmp("v1open");
+        let meta = Meta {
+            version: 1,
+            levels: vec![2, 2],
+            tiles: vec![1, 1],
+            filled: 0,
+            axis: 1,
+        };
+        let map = meta.tiling();
+        std::fs::write(&path, vec![0u8; map.block_capacity() * map.num_tiles() * 8]).unwrap();
+        std::fs::write(meta_path(&path), meta.to_text()).unwrap();
+        let mut ws = WsFile::open(&path).unwrap();
+        assert!(ws.read_only());
+        assert_eq!(ws.store.read(&[1, 1]), 0.0, "reads work on v1");
+        assert!(matches!(ws.save_meta(), Err(StorageError::ReadOnly)));
+        let report = ws.verify().unwrap();
+        assert!(!report.checksummed);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn save_meta_is_atomic_against_stray_temp_files() {
+        // A crash-simulated writeback: the temp file was written (even
+        // truncated/garbled) but the rename never happened. The store
+        // must keep opening with the old, intact meta.
+        let path = tmp("atomic_meta");
+        let meta = Meta::new(vec![2, 2], vec![1, 1], 4, 1);
+        let ws = WsFile::create(&path, meta.clone()).unwrap();
+        drop(ws);
+        let mut tmp_meta = meta_path(&path).into_os_string();
+        tmp_meta.push(".tmp");
+        std::fs::write(PathBuf::from(&tmp_meta), "format  = shiftsplit-ws\nversio").unwrap();
+        let ws = WsFile::open(&path).unwrap();
+        assert_eq!(ws.meta, meta, "old meta must remain authoritative");
+        // A real save_meta replaces the header and clears nothing else.
+        let mut ws = ws;
+        ws.meta.filled = 2;
+        ws.save_meta().unwrap();
+        assert_eq!(WsFile::open(&path).unwrap().meta.filled, 2);
+        cleanup(&path);
     }
 }

@@ -26,6 +26,7 @@
 pub mod append;
 pub mod chain;
 pub mod chunked;
+pub mod fallible;
 pub mod par;
 pub mod source;
 pub mod update;
@@ -37,6 +38,7 @@ pub use chunked::{
     transform_nonstandard, transform_nonstandard_zorder, transform_nonstandard_zorder_scalings,
     transform_standard, transform_standard_sparse, TransformReport,
 };
+pub use fallible::{try_transform_standard, try_transform_standard_parallel};
 pub use par::{resolve_workers, transform_nonstandard_parallel, transform_standard_parallel};
 pub use source::{ArraySource, ChunkSource, FnSource};
 pub use update::{update_box_pointwise, update_box_standard};

@@ -105,7 +105,11 @@ where
             }));
         }
         for h in handles {
-            h.join().expect("worker panicked");
+            // Forward the panic payload intact: storage failures unwind
+            // carrying a typed `StorageError` that `try_*` fronts recover.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
 
@@ -235,7 +239,10 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
 

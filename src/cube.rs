@@ -108,8 +108,12 @@ impl WaveletCubeBuilder {
         WaveletCube::from_parts(levels, map, store, self.pool_blocks, stats)
     }
 
-    /// Builds a cube backed by a file of real disk blocks.
-    pub fn on_disk(self, path: &std::path::Path) -> std::io::Result<WaveletCube<FileBlockStore>> {
+    /// Builds a cube backed by a file of real disk blocks (with a CRC-32
+    /// checksum sidecar; see `docs/FORMAT.md`).
+    pub fn on_disk(
+        self,
+        path: &std::path::Path,
+    ) -> Result<WaveletCube<FileBlockStore>, ss_storage::StorageError> {
         let (levels, tiles) = self.geometry();
         let map = StandardTiling::new(&levels, &tiles);
         let stats = IoStats::new();

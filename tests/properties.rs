@@ -212,6 +212,56 @@ proptest! {
     }
 
     #[test]
+    fn any_single_bit_flip_is_detected_by_verify(
+        seed in any::<u64>(),
+        byte_pick in any::<u64>(),
+        bit in 0u32..8,
+        in_sidecar in any::<bool>(),
+    ) {
+        // CRC-32 detects every single-bit error, so `WsFile::verify` must
+        // flag a v2 store after one flipped bit — in the blocks file or in
+        // the checksum sidecar itself (a rotted checksum is corruption
+        // too: the pair no longer vouches for the data).
+        use shiftsplit::storage::{Meta, WsFile};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ss_prop_bitflip_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.ws");
+        {
+            let mut ws = WsFile::create(&path, Meta::new(vec![3, 3], vec![1, 1], 8, 1)).unwrap();
+            for idx in MultiIndexIter::new(&[8, 8]) {
+                let x = seed
+                    .wrapping_mul((idx[0] * 8 + idx[1]) as u64 + 3)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                ws.store.write(&idx, (x >> 40) as f64 * 0.01);
+            }
+            ws.sync().unwrap();
+            prop_assert!(ws.verify().unwrap().is_clean());
+        }
+        let target = if in_sidecar {
+            shiftsplit::storage::file::sidecar_path(&path)
+        } else {
+            path.clone()
+        };
+        let mut bytes = std::fs::read(&target).unwrap();
+        // Skip the sidecar's 8-byte magic: damaging it is a different
+        // (also detected) failure — open() refuses the file outright.
+        let lo = if in_sidecar { 8 } else { 0 };
+        let pos = lo + (byte_pick as usize) % (bytes.len() - lo);
+        bytes[pos] ^= 1u8 << bit;
+        std::fs::write(&target, &bytes).unwrap();
+        let mut ws = WsFile::open(&path).unwrap();
+        let report = ws.verify().unwrap();
+        prop_assert!(!report.is_clean(), "flip at {target:?}:{pos} bit {bit} went undetected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn partial_reconstruction_random_boxes(
         seed in any::<u64>(),
         lo0 in 0usize..32, lo1 in 0usize..32,
