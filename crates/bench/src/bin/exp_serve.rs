@@ -1,0 +1,191 @@
+//! **E-SERVE** — workers × clients sweep of the concurrent query server.
+//!
+//! Not a paper experiment: the paper maintains the transformed data, this
+//! harness measures *serving* it. A 64×64 standard-form store sits behind
+//! a [`ThrottledBlockStore`] emulating a device with 200 µs per-block read
+//! latency and internal parallelism (shared positional reads), cached by a
+//! sharded pool far smaller than the tile count so misses dominate. For
+//! every (executor workers × closed-loop clients) combination the sweep
+//! runs a fixed per-client mix of point and range-sum queries through the
+//! real TCP server and reports wall time, throughput, mean executor batch
+//! size and the pool hit rate.
+//!
+//! Two effects are on display:
+//!
+//! * **worker overlap** — with several clients in flight, executor workers
+//!   overlap their miss sleeps under the pool's read lock, so throughput
+//!   scales with workers even on a single CPU (the sleeps, not the CPU,
+//!   are the bottleneck);
+//! * **tile-major batching** — each executor sweep answers every pending
+//!   request that wants a hot tile from one fetch, visible as mean batch
+//!   sizes above 1 once clients outnumber workers.
+//!
+//! With one client there is exactly one request in flight and extra
+//! workers cannot help; the table says so instead of pretending.
+
+use ss_array::{MultiIndexIter, NdArray, Shape};
+use ss_bench::{emit_json_row, fmt_f, timed_ms, Table};
+use ss_core::tiling::StandardTiling;
+use ss_core::TilingMap;
+use ss_datagen::SplitMix64;
+use ss_obs::json::Value;
+use ss_serve::{Client, QueryServer, ServeConfig};
+use ss_storage::{CoeffStore, IoStats, MemBlockStore, SharedCoeffStore, ThrottledBlockStore};
+use std::time::Duration;
+
+const N: u32 = 6; // 64 x 64 domain
+const B: u32 = 2; // 4x4-coefficient tiles -> 16x16 = 256 tiles
+const POOL: usize = 48; // blocks cached (~19% of tiles): misses dominate
+const SHARDS: usize = 8;
+const READ_LAT_US: u64 = 200;
+const REQS_PER_CLIENT: usize = 150;
+const BATCH_MAX: usize = 4;
+const WORKERS: [usize; 3] = [1, 2, 4];
+const CLIENTS: [usize; 3] = [1, 4, 8];
+
+type ServedStore = SharedCoeffStore<StandardTiling, ThrottledBlockStore<MemBlockStore>>;
+
+/// Builds the served store: populate through an unthrottled serial store,
+/// then wrap the block file in the read throttle for serving.
+fn build_store(stats: IoStats) -> ServedStore {
+    let side = 1usize << N;
+    let data = NdArray::from_fn(Shape::cube(2, side), |idx| {
+        ((idx[0].wrapping_mul(2654435761) ^ idx[1].wrapping_mul(40503)) % 1000) as f64 - 500.0
+    });
+    let t = ss_core::standard::forward_to(&data);
+    let map = StandardTiling::new(&[N; 2], &[B; 2]);
+    let mem = MemBlockStore::new(map.block_capacity(), map.num_tiles(), stats.clone());
+    let mut cs = CoeffStore::new(map, mem, 1 << 10, stats.clone());
+    for idx in MultiIndexIter::new(&[side, side]) {
+        cs.write(&idx, t.get(&idx));
+    }
+    cs.flush();
+    let (map, mem) = cs.into_parts();
+    let throttled =
+        ThrottledBlockStore::new(mem, Duration::from_micros(READ_LAT_US), Duration::ZERO);
+    SharedCoeffStore::new(map, throttled, POOL, SHARDS, stats)
+}
+
+/// One closed-loop client: connect, then issue the seeded query mix one
+/// request at a time (the next request leaves only after the answer).
+fn run_client(addr: std::net::SocketAddr, seed: u64) {
+    let side = 1usize << N;
+    let mut client = Client::connect(addr).expect("connect");
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..REQS_PER_CLIENT {
+        if rng.below(10) < 7 {
+            let pos = [rng.below(side), rng.below(side)];
+            client.point(&pos).expect("point");
+        } else {
+            let (a, b) = (rng.below(side), rng.below(side));
+            let (c, d) = (rng.below(side), rng.below(side));
+            client
+                .range_sum(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)])
+                .expect("range_sum");
+        }
+    }
+}
+
+fn main() {
+    let side = 1usize << N;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# E-SERVE — query server worker × client sweep\n");
+    println!(
+        "domain {side}x{side}, tiles {t}x{t}, pool {POOL} of {total} blocks, \
+         {READ_LAT_US} µs emulated read latency, {REQS_PER_CLIENT} requests \
+         per client (70% point / 30% range-sum), batch_max {BATCH_MAX}; \
+         host has {cores} core(s)\n",
+        t = 1usize << (N - B),
+        total = 1usize << (2 * (N - B)),
+    );
+    let mut table = Table::new(&[
+        "workers",
+        "clients",
+        "requests",
+        "wall ms",
+        "qps",
+        "mean batch",
+        "hit %",
+    ]);
+    let registry = ss_obs::global();
+    let (ok_ctr, batch_ctr) = (
+        registry.counter("serve.requests_ok"),
+        registry.counter("serve.batches"),
+    );
+    let mut qps_at = Vec::new();
+    for &workers in &WORKERS {
+        for &clients in &CLIENTS {
+            let before = (ok_ctr.get(), batch_ctr.get());
+            let stats = IoStats::new();
+            let store = build_store(stats.clone());
+            stats.reset(); // count only the serving phase
+            let server = QueryServer::bind(
+                "127.0.0.1:0",
+                store,
+                vec![N; 2],
+                ServeConfig {
+                    workers,
+                    batch_max: BATCH_MAX,
+                    max_requests: None,
+                },
+            )
+            .expect("bind");
+            let addr = server.local_addr();
+            let (_, wall_ms) = timed_ms(|| {
+                std::thread::scope(|scope| {
+                    for c in 0..clients {
+                        scope.spawn(move || run_client(addr, 0x5E44E + c as u64));
+                    }
+                });
+            });
+            server.shutdown();
+            let requests = (clients * REQS_PER_CLIENT) as u64;
+            let answered = ok_ctr.get() - before.0;
+            assert_eq!(answered, requests, "every request answered exactly once");
+            let batches = batch_ctr.get() - before.1;
+            let qps = requests as f64 / (wall_ms / 1000.0);
+            let mean_batch = requests as f64 / batches.max(1) as f64;
+            let snap = stats.snapshot();
+            let hit_pct = 100.0 * snap.pool_hits as f64 / snap.pool_accesses().max(1) as f64;
+            qps_at.push(((workers, clients), qps));
+            table.row(&[
+                &workers,
+                &clients,
+                &requests,
+                &fmt_f(wall_ms, 1),
+                &fmt_f(qps, 0),
+                &fmt_f(mean_batch, 2),
+                &fmt_f(hit_pct, 1),
+            ]);
+            emit_json_row(
+                "serve",
+                &[
+                    ("workers", Value::from(workers as u64)),
+                    ("clients", Value::from(clients as u64)),
+                    ("requests", Value::from(requests)),
+                    ("wall_ms", Value::from(wall_ms)),
+                    ("qps", Value::from(qps)),
+                    ("mean_batch", Value::from(mean_batch)),
+                    ("pool_hit_pct", Value::from(hit_pct)),
+                    ("read_latency_us", Value::from(READ_LAT_US)),
+                    ("batch_max", Value::from(BATCH_MAX as u64)),
+                ],
+            );
+        }
+    }
+    table.print();
+    let at = |w: usize, c: usize| {
+        qps_at
+            .iter()
+            .find(|((qw, qc), _)| (*qw, *qc) == (w, c))
+            .map(|(_, q)| *q)
+            .expect("swept configuration")
+    };
+    let speedup = at(4, 8) / at(1, 8);
+    println!(
+        "4-worker vs 1-worker speedup at 8 clients: {}x",
+        fmt_f(speedup, 2)
+    );
+}

@@ -499,6 +499,98 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve <store> [--port N] [--workers W] [--batch B] [--requests K]
+/// [--addr-file FILE]`
+///
+/// Serves standard-form point and range-sum queries against the store over
+/// plain TCP (line-delimited JSON; see the `ss-serve` crate docs for the
+/// wire format). The store is re-housed in the sharded thread-safe pool and
+/// answered by `W` executor workers that batch up to `B` concurrently
+/// pending requests tile-major, so a hot tile wanted by several clients at
+/// once is fetched once. `--port 0` (the default) picks an ephemeral port —
+/// printed on stdout and, with `--addr-file`, written to a file scripts can
+/// poll; `--requests K` exits cleanly after K responses (without it the
+/// server runs until killed).
+pub fn serve(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let port: u16 = match args.flag_opt("port") {
+        Some(p) => p.parse().map_err(|e| format!("bad --port: {e}"))?,
+        None => 0,
+    };
+    let workers = match args.flag_opt("workers") {
+        Some(w) => w
+            .parse::<usize>()
+            .map_err(|e| format!("bad --workers: {e}"))?,
+        None => 4,
+    };
+    if workers == 0 {
+        return Err("--workers must be at least one".into());
+    }
+    let batch_max = match args.flag_opt("batch") {
+        Some(b) => b
+            .parse::<usize>()
+            .map_err(|e| format!("bad --batch: {e}"))?,
+        None => 64,
+    };
+    if batch_max == 0 {
+        return Err("--batch must be at least one".into());
+    }
+    let max_requests = match args.flag_opt("requests") {
+        Some(r) => Some(
+            r.parse::<u64>()
+                .map_err(|e| format!("bad --requests: {e}"))?,
+        ),
+        None => None,
+    };
+    let ws = WsFile::open(Path::new(path))?;
+    let levels = ws.meta.levels.clone();
+    let stats = ws.stats.clone();
+    let (map, blocks) = ws.store.into_parts();
+    let shared = ss_storage::SharedCoeffStore::new(map, blocks, 1 << 10, workers, stats.clone());
+    let config = ss_serve::ServeConfig {
+        workers,
+        batch_max,
+        max_requests,
+    };
+    let server = ss_serve::QueryServer::bind(&format!("127.0.0.1:{port}"), shared, levels, config)
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    println!("serving queries on {addr}");
+    // Scripts (and our tests) learn the ephemeral port from this line or
+    // the --addr-file, so neither may lag behind the listening socket.
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Some(file) = args.flag_opt("addr-file") {
+        std::fs::write(file, addr.to_string()).map_err(|e| e.to_string())?;
+    }
+    let served = server.join();
+    println!("served {served} responses");
+    metrics::emit_quiet(args, Some(&stats))
+}
+
+/// `query <addr> (--at i,j,… | --lo … --hi …) [--out FILE]`
+///
+/// One-shot client for a running `serve` instance. Prints the answer on
+/// stdout; `--out` additionally writes it to a file (shortest-roundtrip
+/// formatting, so reading it back yields the served `f64` bit for bit).
+pub fn query(args: &Args) -> Result<(), String> {
+    let addr = args.pos(0, "server address (host:port)")?;
+    let mut client = ss_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let value = if let Some(at) = args.flag_opt("at") {
+        let pos = parse_list(at)?;
+        client.point(&pos).map_err(|e| e.to_string())?
+    } else {
+        let lo = parse_list(args.flag("lo")?)?;
+        let hi = parse_list(args.flag("hi")?)?;
+        client.range_sum(&lo, &hi).map_err(|e| e.to_string())?
+    };
+    println!("{value}");
+    if let Some(out) = args.flag_opt("out") {
+        std::fs::write(out, format!("{value}\n")).map_err(|e| e.to_string())?;
+    }
+    metrics::emit_quiet(args, None)
+}
+
 /// `stream --data values.csv --k K [--buffer B]`
 pub fn stream(args: &Args) -> Result<(), String> {
     let values = csv::read_values(Path::new(args.flag("data")?))?;

@@ -47,6 +47,13 @@ COMMANDS:
   synopsis <store> --k K --out F   export a K-term synopsis blob
   asksyn  <F> --at …|--lo …--hi …  approximate queries from a synopsis
   stream  --data FILE --k K        best-K synopsis of a value stream
+  serve   <store> [--port N] [--workers W] [--batch B] [--requests K]
+          [--addr-file F]        serve point/sum queries over TCP
+          (line-delimited JSON; workers batch concurrent requests
+          tile-major so hot tiles are fetched once; --requests K exits
+          after K responses; --port 0 picks an ephemeral port)
+  query   <addr> (--at i,j,… | --lo … --hi …) [--out F]
+          one-shot client for a running serve instance
   serve-metrics --port N [--requests K] [store]   expose the metrics registry
           (Prometheus text on any path, ss-metrics-v1 JSON on *.json paths)
   demo                             self-contained demonstration
@@ -111,6 +118,8 @@ fn run(raw: &[String]) -> Result<(), CmdError> {
         "synopsis" => commands::synopsis(&args),
         "asksyn" => commands::query_synopsis(&args),
         "stream" => commands::stream(&args),
+        "serve" => commands::serve(&args),
+        "query" => commands::query(&args),
         "serve-metrics" => commands::serve_metrics(&args),
         "demo" => demo(),
         "" => Err("no command given".into()),
@@ -136,6 +145,8 @@ fn command_slug(command: &str) -> &'static str {
         "synopsis" => "synopsis",
         "asksyn" => "asksyn",
         "stream" => "stream",
+        "serve" => "serve",
+        "query" => "query",
         "serve-metrics" => "serve_metrics",
         "demo" => "demo",
         _ => "unknown",
@@ -438,6 +449,95 @@ mod tests {
             snapshot.contains("storage.retries"),
             "retry counter missing from snapshot"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_query_through_cli() {
+        // Start `serve` on an ephemeral port with a request budget, run
+        // `query` clients against it, check the answers are bit-identical
+        // to the serial batch path, and watch the server exit cleanly once
+        // the budget is spent.
+        let dir = tmp_dir("serve");
+        let store = dir.join("s.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&[
+            "create", &store_s, "--levels", "4,4", "--tiles", "2,2",
+        ]))
+        .unwrap();
+        let data: Vec<String> = (0..16)
+            .map(|r| {
+                (0..16)
+                    .map(|c| (((r * 29 + c * 17) % 41) as f64 / 4.0).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let f = dir.join("d.csv");
+        std::fs::write(&f, data.join("\n")).unwrap();
+        run(&to_args(&[
+            "ingest",
+            &store_s,
+            "--data",
+            f.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let addr_file = dir.join("addr.txt");
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        let points = [[0usize, 0], [7, 13], [15, 15], [3, 9]];
+        // 4 point queries + 1 range sum = a budget of 5 responses.
+        let serve_store = store_s.clone();
+        let server = std::thread::spawn(move || {
+            run(&to_args(&[
+                "serve",
+                &serve_store,
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--requests",
+                "5",
+                "--addr-file",
+                &addr_file_s,
+            ]))
+        });
+        let addr = loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(a) if !a.is_empty() => break a,
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        let mut ws = crate::wsfile::WsFile::open(&store).unwrap();
+        let out = dir.join("answer.txt");
+        let out_s = out.to_str().unwrap().to_string();
+        for pos in &points {
+            let at = format!("{},{}", pos[0], pos[1]);
+            run(&to_args(&["query", &addr, "--at", &at, "--out", &out_s])).unwrap();
+            let got: f64 = std::fs::read_to_string(&out)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let want = ss_query::batch_points(&mut ws.store, &ws.meta.levels, &[pos.to_vec()])[0];
+            assert_eq!(got.to_bits(), want.to_bits(), "point {pos:?}");
+        }
+        run(&to_args(&[
+            "query", &addr, "--lo", "1,2", "--hi", "12,14", "--out", &out_s,
+        ]))
+        .unwrap();
+        let got: f64 = std::fs::read_to_string(&out)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let want = ss_query::batch_range_sums(
+            &mut ws.store,
+            &ws.meta.levels,
+            &[(vec![1, 2], vec![12, 14])],
+        )[0];
+        assert_eq!(got.to_bits(), want.to_bits(), "range sum");
+        // The budget is now spent: the serve command returns Ok on its own.
+        server.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,8 +10,7 @@
 //! decomposition level — usable as-is for online aggregation.
 
 use ss_core::reconstruct;
-use ss_core::TilingMap;
-use ss_storage::{BlockStore, CoeffStore};
+use ss_storage::CoeffRead;
 use std::collections::HashMap;
 
 /// A sparse K-term synopsis of a standard-form transform.
@@ -26,11 +25,7 @@ impl StoredSynopsis {
     /// Builds a synopsis keeping the `k` largest-magnitude coefficients of
     /// the transform held in `cs` (the overall average is always kept and
     /// does not count against `k`).
-    pub fn build<M: TilingMap, S: BlockStore>(
-        cs: &mut CoeffStore<M, S>,
-        n: &[u32],
-        k: usize,
-    ) -> Self {
+    pub fn build<C: CoeffRead>(cs: &mut C, n: &[u32], k: usize) -> Self {
         let dims: Vec<usize> = n.iter().map(|&nt| 1usize << nt).collect();
         let shape = ss_array::Shape::new(&dims);
         let mut ranked: Vec<(f64, Vec<usize>, f64)> = Vec::new();
@@ -182,7 +177,7 @@ impl StoredSynopsis {
 
     /// Fraction of the data's total energy captured by the synopsis,
     /// relative to the full transform in `cs` (1.0 = lossless).
-    pub fn energy_ratio<M: TilingMap, S: BlockStore>(&self, cs: &mut CoeffStore<M, S>) -> f64 {
+    pub fn energy_ratio<C: CoeffRead>(&self, cs: &mut C) -> f64 {
         let dims: Vec<usize> = self.n.iter().map(|&nt| 1usize << nt).collect();
         let shape = ss_array::Shape::new(&dims);
         let mut kept = 0.0;
@@ -207,8 +202,8 @@ impl StoredSynopsis {
 /// contribution list **coarse-to-fine**, returning the running estimate
 /// after each batch of levels. The last element is the exact answer; early
 /// elements are usable approximations after a handful of coefficient reads.
-pub fn progressive_range_sum<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn progressive_range_sum<C: CoeffRead>(
+    cs: &mut C,
     n: &[u32],
     lo: &[usize],
     hi: &[usize],
@@ -249,7 +244,7 @@ mod tests {
     use super::*;
     use ss_array::{MultiIndexIter, NdArray, Shape};
     use ss_core::tiling::StandardTiling;
-    use ss_storage::{wstore::mem_store, IoStats, MemBlockStore};
+    use ss_storage::{wstore::mem_store, CoeffStore, IoStats, MemBlockStore};
 
     fn build_store(a: &NdArray<f64>, n: &[u32]) -> CoeffStore<StandardTiling, MemBlockStore> {
         let t = ss_core::standard::forward_to(a);

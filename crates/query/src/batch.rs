@@ -10,15 +10,12 @@
 //! argument.
 
 use ss_core::{reconstruct, TilingMap};
-use ss_storage::{BlockStore, CoeffStore};
+use ss_storage::CoeffRead;
 use std::collections::HashMap;
 
 /// Executes a batch of point queries, reading every needed tile once.
-pub fn batch_points<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
-    n: &[u32],
-    positions: &[Vec<usize>],
-) -> Vec<f64> {
+pub fn batch_points<C: CoeffRead>(cs: &mut C, n: &[u32], positions: &[Vec<usize>]) -> Vec<f64> {
+    let _span = ss_obs::global().span("query.batch_points");
     let plans: Vec<Vec<(Vec<usize>, f64)>> = positions
         .iter()
         .map(|pos| reconstruct::standard_point_contributions(n, pos))
@@ -28,11 +25,12 @@ pub fn batch_points<M: TilingMap, S: BlockStore>(
 
 /// Executes a batch of inclusive range-sum queries, reading every needed
 /// tile once.
-pub fn batch_range_sums<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn batch_range_sums<C: CoeffRead>(
+    cs: &mut C,
     n: &[u32],
     ranges: &[(Vec<usize>, Vec<usize>)],
 ) -> Vec<f64> {
+    let _span = ss_obs::global().span("query.batch_range_sums");
     let plans: Vec<Vec<(Vec<usize>, f64)>> = ranges
         .iter()
         .map(|(lo, hi)| reconstruct::standard_range_sum_contributions(n, lo, hi))
@@ -40,11 +38,17 @@ pub fn batch_range_sums<M: TilingMap, S: BlockStore>(
     execute_plans(cs, &plans)
 }
 
-/// Tile-major evaluation of contribution-list plans.
-fn execute_plans<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
-    plans: &[Vec<(Vec<usize>, f64)>],
-) -> Vec<f64> {
+/// Tile-major evaluation of contribution-list plans: answer `i` is the
+/// weighted sum of plan `i`'s coefficients, with every `(tile, slot)` read
+/// exactly once across the whole batch, in ascending tile order.
+///
+/// Increments the `query.batch_distinct_tiles` counter by the number of
+/// distinct tiles the batch touched — the quantity the tile-major claim is
+/// about. The evaluation order (and hence the floating-point answer) is
+/// deterministic: it depends only on the plans and the tiling map, never on
+/// the store behind `cs`, so serial and concurrent executions agree bit for
+/// bit.
+pub fn execute_plans<C: CoeffRead>(cs: &mut C, plans: &[Vec<(Vec<usize>, f64)>]) -> Vec<f64> {
     // (tile, slot) -> [(query, weight)], so each coefficient is read once
     // even when several queries share it.
     let mut wanted: HashMap<(usize, usize), Vec<(usize, f64)>> = HashMap::new();
@@ -59,6 +63,20 @@ fn execute_plans<M: TilingMap, S: BlockStore>(
     }
     let mut keys: Vec<(usize, usize)> = wanted.keys().copied().collect();
     keys.sort_unstable();
+    let distinct_tiles = {
+        let mut n = 0u64;
+        let mut last = usize::MAX;
+        for &(tile, _) in &keys {
+            if tile != last {
+                n += 1;
+                last = tile;
+            }
+        }
+        n
+    };
+    ss_obs::global()
+        .counter("query.batch_distinct_tiles")
+        .add(distinct_tiles);
     let mut results = vec![0.0f64; plans.len()];
     for key in keys {
         let v = cs.read_at(key.0, key.1);
@@ -74,7 +92,7 @@ mod tests {
     use super::*;
     use ss_array::{MultiIndexIter, NdArray, Shape};
     use ss_core::tiling::StandardTiling;
-    use ss_storage::{wstore::mem_store, IoStats};
+    use ss_storage::{wstore::mem_store, CoeffStore, IoStats};
 
     fn setup(
         side: usize,

@@ -3,18 +3,14 @@
 use ss_core::reconstruct;
 use ss_core::tiling::{NonStandardTiling, StandardTiling};
 use ss_core::TilingMap;
-use ss_storage::{BlockStore, CoeffStore};
+use ss_storage::CoeffRead;
 
 /// Point query against a **standard-form** store laid out by any tiling
 /// map: evaluates the `Π(n_t + 1)` Lemma 1 contributions.
 ///
 /// `n` are the per-axis domain levels.
-pub fn point_standard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
-    n: &[u32],
-    pos: &[usize],
-) -> f64 {
-    let _span = ss_obs::global().span("query.point_ns");
+pub fn point_standard<C: CoeffRead>(cs: &mut C, n: &[u32], pos: &[usize]) -> f64 {
+    let _span = ss_obs::global().span("query.point_std");
     reconstruct::standard_point_contributions(n, pos)
         .iter()
         .map(|(idx, w)| w * cs.read(idx))
@@ -23,11 +19,7 @@ pub fn point_standard<M: TilingMap, S: BlockStore>(
 
 /// Point query against a **non-standard-form** store: evaluates the
 /// `(2^d − 1)·n + 1` quad-tree path contributions.
-pub fn point_nonstandard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
-    n: u32,
-    pos: &[usize],
-) -> f64 {
+pub fn point_nonstandard<C: CoeffRead>(cs: &mut C, n: u32, pos: &[usize]) -> f64 {
     let _span = ss_obs::global().span("query.point_ns");
     reconstruct::nonstandard_point_contributions(n, pos.len(), pos)
         .iter()
@@ -43,11 +35,8 @@ pub fn point_nonstandard<M: TilingMap, S: BlockStore>(
 /// axis, the in-tile root scaling plus the in-tile detail path; the cross
 /// product of those per-axis lists addresses only slots of that one tile,
 /// so the query reads exactly **one block**.
-pub fn point_standard_fast<S: BlockStore>(
-    cs: &mut CoeffStore<StandardTiling, S>,
-    pos: &[usize],
-) -> f64 {
-    let _span = ss_obs::global().span("query.point_ns");
+pub fn point_standard_fast<C: CoeffRead<Map = StandardTiling>>(cs: &mut C, pos: &[usize]) -> f64 {
+    let _span = ss_obs::global().span("query.point_std_fast");
     // Per-axis in-tile contribution lists as (slot, weight).
     let per_axis: Vec<Vec<(usize, f64)>> = cs
         .map()
@@ -138,12 +127,12 @@ pub fn point_standard_fast<S: BlockStore>(
 /// tile's root node (see
 /// [`crate::scalings::materialize_nonstandard_scalings`]). Reads exactly one
 /// block: the bottom tile covering `pos`.
-pub fn point_nonstandard_fast<S: BlockStore>(
-    cs: &mut CoeffStore<NonStandardTiling, S>,
+pub fn point_nonstandard_fast<C: CoeffRead<Map = NonStandardTiling>>(
+    cs: &mut C,
     n: u32,
     pos: &[usize],
 ) -> f64 {
-    let _span = ss_obs::global().span("query.point_ns");
+    let _span = ss_obs::global().span("query.point_ns_fast");
     let d = pos.len();
     if n == 0 {
         return cs.read_at(0, 0);
@@ -200,7 +189,7 @@ pub fn point_nonstandard_fast<S: BlockStore>(
 mod tests {
     use super::*;
     use ss_array::{MultiIndexIter, NdArray, Shape};
-    use ss_storage::{wstore::mem_store, IoStats};
+    use ss_storage::{wstore::mem_store, CoeffStore, IoStats};
 
     fn store_standard(
         a: &NdArray<f64>,

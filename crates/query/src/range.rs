@@ -2,18 +2,13 @@
 
 use ss_core::reconstruct;
 use ss_core::TilingMap;
-use ss_storage::{BlockStore, CoeffStore};
+use ss_storage::CoeffRead;
 
 /// Range-sum `Σ a[idx]` over the inclusive box `[lo, hi]` against a
 /// **standard-form** store: evaluates at most `Π(2·n_t + 1)` coefficients
 /// (Lemma 2 per axis, multiplied across axes).
-pub fn range_sum_standard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
-    n: &[u32],
-    lo: &[usize],
-    hi: &[usize],
-) -> f64 {
-    let _span = ss_obs::global().span("query.range_sum_ns");
+pub fn range_sum_standard<C: CoeffRead>(cs: &mut C, n: &[u32], lo: &[usize], hi: &[usize]) -> f64 {
+    let _span = ss_obs::global().span("query.range_sum_std");
     reconstruct::standard_range_sum_contributions(n, lo, hi)
         .iter()
         .map(|(idx, w)| w * cs.read(idx))
@@ -26,12 +21,7 @@ pub fn range_sum_standard<M: TilingMap, S: BlockStore>(
 /// Each cubic dyadic piece contributes `cells × block-average`; the block
 /// average costs `(2^d − 1)(n − m) + 1` coefficient reads (inverse SPLIT),
 /// so the whole query costs `O(pieces · 2^d · log N)`.
-pub fn range_sum_nonstandard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
-    n: u32,
-    lo: &[usize],
-    hi: &[usize],
-) -> f64 {
+pub fn range_sum_nonstandard<C: CoeffRead>(cs: &mut C, n: u32, lo: &[usize], hi: &[usize]) -> f64 {
     let _span = ss_obs::global().span("query.range_sum_ns");
     let mut total = 0.0;
     for piece in ss_array::decompose_range(lo, hi) {
@@ -71,12 +61,12 @@ pub fn range_sum_nonstandard<M: TilingMap, S: BlockStore>(
 /// plus the in-tile path details down to the block level. Each dyadic
 /// piece therefore reads exactly **one block** (adjacent pieces often share
 /// it), versus the `≈ Π ceil(n_t/b_t)` path tiles of the Lemma 2 plan.
-pub fn range_sum_standard_fast<S: BlockStore>(
-    cs: &mut CoeffStore<ss_core::tiling::StandardTiling, S>,
+pub fn range_sum_standard_fast<C: CoeffRead<Map = ss_core::tiling::StandardTiling>>(
+    cs: &mut C,
     lo: &[usize],
     hi: &[usize],
 ) -> f64 {
-    let _span = ss_obs::global().span("query.range_sum_ns");
+    let _span = ss_obs::global().span("query.range_sum_std_fast");
     let d = cs.map().ndim();
     assert_eq!(lo.len(), d);
     assert_eq!(hi.len(), d);
@@ -106,7 +96,7 @@ pub fn range_sum_standard_fast<S: BlockStore>(
                 });
                 let loc = axis.locate(probe);
                 tile_tuple[t] = loc.tile;
-                let (j_top, k_top) = axis.tile_root(loc.tile);
+                let (j_top, _) = axis.tile_root(loc.tile);
                 let mut list = vec![(0usize, 1.0)]; // in-tile scaling slot
                 for j in (m + 1)..=j_top {
                     let shift = j - m;
@@ -114,7 +104,6 @@ pub fn range_sum_standard_fast<S: BlockStore>(
                     let local_depth = j_top - j;
                     let slot =
                         (1usize << local_depth) + (kk - ((kk >> local_depth) << local_depth));
-                    let _ = k_top;
                     let sign = if (k >> (shift - 1)) & 1 == 1 {
                         -1.0
                     } else {

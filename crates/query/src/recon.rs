@@ -13,19 +13,19 @@
 //!    ([`reconstruct_box_standard`], [`reconstruct_range_nonstandard`]).
 
 use ss_array::{DyadicRange, MultiIndexIter, NdArray, Shape};
-use ss_core::{reconstruct, TilingMap};
-use ss_storage::{BlockStore, CoeffStore};
+use ss_core::reconstruct;
+use ss_storage::CoeffRead;
 
 /// Reconstructs an arbitrary inclusive box `[lo, hi]` from a standard-form
 /// store via inverse SHIFT-SPLIT: the box is decomposed into dyadic ranges,
 /// each assembled and inverted independently (Result 6).
-pub fn reconstruct_box_standard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn reconstruct_box_standard<C: CoeffRead>(
+    cs: &mut C,
     n: &[u32],
     lo: &[usize],
     hi: &[usize],
 ) -> NdArray<f64> {
-    let _span = ss_obs::global().span("query.reconstruct_ns");
+    let _span = ss_obs::global().span("query.reconstruct_std");
     let extents: Vec<usize> = lo.iter().zip(hi).map(|(&l, &h)| h - l + 1).collect();
     let mut out = NdArray::<f64>::zeros(Shape::new(&extents));
     for piece in ss_array::decompose_range(lo, hi) {
@@ -42,8 +42,8 @@ pub fn reconstruct_box_standard<M: TilingMap, S: BlockStore>(
 }
 
 /// Reconstructs a single dyadic range from a standard-form store.
-pub fn reconstruct_dyadic_standard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn reconstruct_dyadic_standard<C: CoeffRead>(
+    cs: &mut C,
     n: &[u32],
     range: &DyadicRange,
 ) -> NdArray<f64> {
@@ -51,8 +51,8 @@ pub fn reconstruct_dyadic_standard<M: TilingMap, S: BlockStore>(
 }
 
 /// Reconstructs a cubic dyadic range from a non-standard-form store.
-pub fn reconstruct_range_nonstandard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn reconstruct_range_nonstandard<C: CoeffRead>(
+    cs: &mut C,
     n: u32,
     range: &DyadicRange,
 ) -> NdArray<f64> {
@@ -61,8 +61,8 @@ pub fn reconstruct_range_nonstandard<M: TilingMap, S: BlockStore>(
 }
 
 /// Baseline 2: reconstructs `[lo, hi]` point by point through Lemma 1.
-pub fn reconstruct_pointwise_standard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn reconstruct_pointwise_standard<C: CoeffRead>(
+    cs: &mut C,
     n: &[u32],
     lo: &[usize],
     hi: &[usize],
@@ -79,8 +79,8 @@ pub fn reconstruct_pointwise_standard<M: TilingMap, S: BlockStore>(
 
 /// Baseline 1: reads the entire transform, inverts it in memory, then
 /// slices out `[lo, hi]`.
-pub fn reconstruct_full_standard<M: TilingMap, S: BlockStore>(
-    cs: &mut CoeffStore<M, S>,
+pub fn reconstruct_full_standard<C: CoeffRead>(
+    cs: &mut C,
     n: &[u32],
     lo: &[usize],
     hi: &[usize],
@@ -100,7 +100,7 @@ pub fn reconstruct_full_standard<M: TilingMap, S: BlockStore>(
 mod tests {
     use super::*;
     use ss_core::tiling::{NonStandardTiling, StandardTiling};
-    use ss_storage::{wstore::mem_store, IoStats};
+    use ss_storage::{wstore::mem_store, CoeffStore, IoStats};
 
     fn build(
         a: &NdArray<f64>,

@@ -1,0 +1,129 @@
+//! A small blocking client for the line-JSON query protocol.
+//!
+//! Requests are pipelined: [`Client::run`] writes every request line, then
+//! reads exactly one response line per request and matches answers back to
+//! requests by id (the server batches across connections, so responses may
+//! return out of order).
+
+use crate::proto::{self, Query};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What went wrong talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-exchange.
+    Io(std::io::Error),
+    /// The server sent something the protocol does not allow.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a [`QueryServer`](crate::QueryServer).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: i128,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One-line requests and responses: Nagle + delayed ACK would add
+        // ~40 ms to every closed-loop round trip.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Point query at `pos`.
+    pub fn point(&mut self, pos: &[usize]) -> Result<f64, ClientError> {
+        self.one(Query::Point { pos: pos.to_vec() })
+    }
+
+    /// Inclusive range sum over `[lo, hi]`.
+    pub fn range_sum(&mut self, lo: &[usize], hi: &[usize]) -> Result<f64, ClientError> {
+        self.one(Query::RangeSum {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        })
+    }
+
+    fn one(&mut self, q: Query) -> Result<f64, ClientError> {
+        let mut answers = self.run(&[q])?;
+        answers
+            .pop()
+            .expect("one answer per query")
+            .map_err(|(kind, msg)| ClientError::Protocol(format!("server error {kind}: {msg}")))
+    }
+
+    /// Pipelines `queries` and returns one result per query, in request
+    /// order. Per-query server errors come back as `Err((kind, message))`
+    /// without failing the whole exchange.
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<Result<f64, (String, String)>>, ClientError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_id = self.next_id;
+        let mut lines = String::new();
+        for (k, q) in queries.iter().enumerate() {
+            lines.push_str(&proto::request_line(first_id + k as i128, q));
+            lines.push('\n');
+        }
+        self.next_id += queries.len() as i128;
+        self.writer.write_all(lines.as_bytes())?;
+        self.writer.flush()?;
+        let mut by_id: HashMap<i128, Result<f64, (String, String)>> =
+            HashMap::with_capacity(queries.len());
+        let mut line = String::new();
+        while by_id.len() < queries.len() {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(format!(
+                    "server closed after {} of {} answers",
+                    by_id.len(),
+                    queries.len()
+                )));
+            }
+            let resp = proto::parse_response(line.trim_end()).map_err(ClientError::Protocol)?;
+            let id = resp
+                .id
+                .ok_or_else(|| ClientError::Protocol("response without id".into()))?;
+            if id < first_id || id >= first_id + queries.len() as i128 {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected response id {id}"
+                )));
+            }
+            by_id.insert(id, resp.result);
+        }
+        Ok((0..queries.len())
+            .map(|k| by_id.remove(&(first_id + k as i128)).expect("all ids seen"))
+            .collect())
+    }
+}

@@ -1,0 +1,196 @@
+//! Concurrent query serving over shared wavelet coefficient stores.
+//!
+//! The ROADMAP's north star is serving query traffic from a maintained
+//! wavelet store, not just maintaining it. This crate is the serving
+//! layer: a plain-TCP, line-delimited-JSON query server in the same
+//! std-only style as the `ss-obs` metrics server, running standard-form
+//! point and range-sum queries against a
+//! [`SharedCoeffStore`](ss_storage::SharedCoeffStore) from a fixed pool of
+//! worker threads.
+//!
+//! What makes it more than a socket wrapper is **tile-major batching
+//! across clients**: every accepted request is planned into its Lemma 1/2
+//! contribution list up front, and each executor sweep drains a batch of
+//! concurrently pending requests and evaluates them through
+//! [`ss_query::execute_plans`] — so a hot tile demanded by many clients in
+//! the same instant is fetched once, not once per connection. Answers are
+//! bit-identical to serial execution: the evaluation order is fixed by the
+//! plans alone, and the wire format round-trips `f64` exactly.
+//!
+//! * [`proto`] — the wire protocol: requests, typed error responses,
+//!   exact float formatting,
+//! * [`server`] — [`QueryServer`]: acceptor, per-connection reader
+//!   threads, the shared batch queue, executor pool, and budgeted clean
+//!   shutdown,
+//! * [`client`] — [`Client`]: a small blocking, pipelining client used by
+//!   the CLI `query` command, the benches and the tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::Query;
+pub use server::{QueryServer, ServeConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_array::{MultiIndexIter, NdArray, Shape};
+    use ss_core::tiling::StandardTiling;
+    use ss_storage::{mem_shared_store, wstore::mem_store, IoStats, SharedCoeffStore};
+
+    fn test_data(side: usize) -> NdArray<f64> {
+        NdArray::from_fn(Shape::cube(2, side), |idx| {
+            ((idx[0] * 31 + idx[1] * 7) % 23) as f64 / 3.0 - 2.5
+        })
+    }
+
+    fn shared_store(
+        a: &NdArray<f64>,
+        n: u32,
+    ) -> SharedCoeffStore<StandardTiling, ss_storage::MemBlockStore> {
+        let t = ss_core::standard::forward_to(a);
+        let shared = mem_shared_store(
+            StandardTiling::new(&[n; 2], &[2; 2]),
+            1 << 10,
+            4,
+            IoStats::new(),
+        );
+        for idx in MultiIndexIter::new(a.shape().dims()) {
+            shared.write(&idx, t.get(&idx));
+        }
+        shared
+    }
+
+    fn bind(store: SharedCoeffStore<StandardTiling, ss_storage::MemBlockStore>) -> QueryServer {
+        QueryServer::bind(
+            "127.0.0.1:0",
+            store,
+            vec![5, 5],
+            ServeConfig {
+                workers: 3,
+                batch_max: 16,
+                max_requests: None,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_exact_point_and_range_answers() {
+        let a = test_data(32);
+        let server = bind(shared_store(&a, 5));
+        let mut serial = mem_store(
+            StandardTiling::new(&[5; 2], &[2; 2]),
+            1 << 10,
+            IoStats::new(),
+        );
+        let t = ss_core::standard::forward_to(&a);
+        for idx in MultiIndexIter::new(&[32, 32]) {
+            serial.write(&idx, t.get(&idx));
+        }
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // The server evaluates tile-major; the matching serial discipline
+        // is the batch path, whose per-query summation order is fixed by
+        // the plan alone — so answers must agree bit for bit.
+        for (x, y) in [(0, 0), (13, 7), (31, 31), (5, 28)] {
+            let got = client.point(&[x, y]).unwrap();
+            let want = ss_query::batch_points(&mut serial, &[5, 5], &[vec![x, y]])[0];
+            assert_eq!(got.to_bits(), want.to_bits(), "point ({x},{y})");
+        }
+        let got = client.range_sum(&[2, 3], &[29, 17]).unwrap();
+        let want =
+            ss_query::batch_range_sums(&mut serial, &[5, 5], &[(vec![2, 3], vec![29, 17])])[0];
+        assert_eq!(got.to_bits(), want.to_bits(), "range sum");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_their_own_answers() {
+        let a = test_data(32);
+        let server = bind(shared_store(&a, 5));
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            for c in 0..6usize {
+                let a = &a;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let queries: Vec<Query> = (0..40)
+                        .map(|k| {
+                            let x = (c * 11 + k * 13) % 32;
+                            let y = (c * 7 + k * 17) % 32;
+                            Query::Point { pos: vec![x, y] }
+                        })
+                        .collect();
+                    let answers = client.run(&queries).unwrap();
+                    for (q, ans) in queries.iter().zip(answers) {
+                        let Query::Point { pos } = q else {
+                            unreachable!()
+                        };
+                        let got = ans.unwrap();
+                        assert!(
+                            (got - a.get(pos)).abs() < 1e-9,
+                            "client {c} pos {pos:?}: {got}"
+                        );
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors_without_killing_the_connection() {
+        use std::io::{BufRead, BufReader, Write};
+        let a = test_data(32);
+        let server = bind(shared_store(&a, 5));
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut ask = |line: &str| -> String {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut out = String::new();
+            reader.read_line(&mut out).unwrap();
+            out
+        };
+        assert!(ask("garbage").contains(r#""error":"parse""#));
+        assert!(ask(r#"{"op":"flush"}"#).contains(r#""error":"unknown_op""#));
+        assert!(ask(r#"{"op":"point","pos":[99,0]}"#).contains(r#""error":"bad_request""#));
+        assert!(ask(r#"{"op":"point","pos":[1]}"#).contains(r#""error":"bad_request""#));
+        // The connection still answers a valid query afterwards.
+        let ok = ask(r#"{"id":5,"op":"point","pos":[3,9]}"#);
+        assert!(ok.contains(r#""ok":true"#), "{ok}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_budget_stops_the_server_cleanly() {
+        let a = test_data(32);
+        let store = shared_store(&a, 5);
+        let server = QueryServer::bind(
+            "127.0.0.1:0",
+            store,
+            vec![5, 5],
+            ServeConfig {
+                workers: 2,
+                batch_max: 8,
+                max_requests: Some(5),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        let queries: Vec<Query> = (0..5).map(|k| Query::Point { pos: vec![k, k] }).collect();
+        let answers = client.run(&queries).unwrap();
+        assert_eq!(answers.len(), 5);
+        for (k, ans) in answers.into_iter().enumerate() {
+            assert!((ans.unwrap() - a.get(&[k, k])).abs() < 1e-9);
+        }
+        // The budget is reached: join returns instead of blocking.
+        server.join();
+    }
+}

@@ -1,0 +1,355 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, both UTF-8 JSON objects.
+//! Requests:
+//!
+//! ```json
+//! {"id": 7, "op": "point", "pos": [3, 9]}
+//! {"id": 8, "op": "range_sum", "lo": [0, 0], "hi": [7, 7]}
+//! ```
+//!
+//! `id` is optional; when present it is echoed verbatim in the response so
+//! pipelined clients can match answers that return out of order (batches
+//! are formed across connections, so ordering per connection is not
+//! guaranteed). Responses:
+//!
+//! ```json
+//! {"id": 7, "ok": true, "value": 12.5}
+//! {"id": 8, "ok": false, "error": "bad_request", "message": "..."}
+//! ```
+//!
+//! `value` uses the exact shortest-roundtrip `f64` formatting of
+//! [`ss_obs::json`], so the served answer equals the serial in-process
+//! answer bit for bit. Error kinds are closed: `parse` (not a JSON object),
+//! `unknown_op` (unrecognised `op`), `bad_request` (wrong arity or
+//! out-of-range coordinates).
+
+use ss_obs::json::{self, Value};
+
+/// A validated query, ready for planning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Point lookup at `pos`.
+    Point {
+        /// Coordinates, one per axis.
+        pos: Vec<usize>,
+    },
+    /// Inclusive range sum over the box `[lo, hi]`.
+    RangeSum {
+        /// Lower corner, one coordinate per axis.
+        lo: Vec<usize>,
+        /// Upper corner, inclusive.
+        hi: Vec<usize>,
+    },
+}
+
+impl Query {
+    /// The request's `op` string.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Query::Point { .. } => "point",
+            Query::RangeSum { .. } => "range_sum",
+        }
+    }
+
+    /// Checks arity and bounds against the served domain `dims`.
+    pub fn validate(&self, dims: &[usize]) -> Result<(), String> {
+        let check = |name: &str, v: &[usize]| -> Result<(), String> {
+            if v.len() != dims.len() {
+                return Err(format!(
+                    "{name} has {} axes, domain has {}",
+                    v.len(),
+                    dims.len()
+                ));
+            }
+            for (t, (&x, &d)) in v.iter().zip(dims).enumerate() {
+                if x >= d {
+                    return Err(format!("{name}[{t}] = {x} out of range (axis size {d})"));
+                }
+            }
+            Ok(())
+        };
+        match self {
+            Query::Point { pos } => check("pos", pos),
+            Query::RangeSum { lo, hi } => {
+                check("lo", lo)?;
+                check("hi", hi)?;
+                for (t, (&l, &h)) in lo.iter().zip(hi).enumerate() {
+                    if l > h {
+                        return Err(format!("lo[{t}] = {l} exceeds hi[{t}] = {h}"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The Lemma 1 / Lemma 2 contribution-list plan for a standard-form
+    /// store with per-axis levels `n`.
+    pub fn plan(&self, n: &[u32]) -> Vec<(Vec<usize>, f64)> {
+        match self {
+            Query::Point { pos } => ss_core::reconstruct::standard_point_contributions(n, pos),
+            Query::RangeSum { lo, hi } => {
+                ss_core::reconstruct::standard_range_sum_contributions(n, lo, hi)
+            }
+        }
+    }
+}
+
+/// A parsed request: optional client-chosen id plus the query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Echoed verbatim in the response when present.
+    pub id: Option<i128>,
+    /// The query itself.
+    pub query: Query,
+}
+
+/// Why a request line was rejected, with the id (when one could still be
+/// extracted) to address the error response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// The request id, when the line parsed far enough to reveal one.
+    pub id: Option<i128>,
+    /// Closed error vocabulary: `parse`, `unknown_op`, or `bad_request`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(id: Option<i128>, kind: &'static str, message: impl Into<String>) -> Self {
+        RequestError {
+            id,
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+fn usize_array(v: &Value, name: &str) -> Result<Vec<usize>, String> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("{name} must be an array"))?;
+    arr.iter()
+        .map(|e| match e {
+            Value::Int(i) if *i >= 0 => usize::try_from(*i).map_err(|_| ()),
+            _ => Err(()),
+        })
+        .collect::<Result<Vec<usize>, ()>>()
+        .map_err(|()| format!("{name} must contain non-negative integers"))
+}
+
+/// Parses one request line. Validation against the domain happens
+/// separately via [`Query::validate`].
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let v = json::parse(line)
+        .map_err(|e| RequestError::new(None, "parse", format!("invalid JSON: {e}")))?;
+    if v.as_object().is_none() {
+        return Err(RequestError::new(
+            None,
+            "parse",
+            "request must be an object",
+        ));
+    }
+    let id = match v.get("id") {
+        Some(Value::Int(i)) => Some(*i),
+        Some(Value::Null) | None => None,
+        Some(_) => {
+            return Err(RequestError::new(None, "parse", "id must be an integer"));
+        }
+    };
+    let op = match v.get("op").and_then(Value::as_str) {
+        Some(op) => op,
+        None => {
+            return Err(RequestError::new(id, "parse", "missing string field op"));
+        }
+    };
+    let field = |name: &str| -> Result<Vec<usize>, RequestError> {
+        let raw = v
+            .get(name)
+            .ok_or_else(|| RequestError::new(id, "bad_request", format!("missing field {name}")))?;
+        usize_array(raw, name).map_err(|m| RequestError::new(id, "bad_request", m))
+    };
+    let query = match op {
+        "point" => Query::Point { pos: field("pos")? },
+        "range_sum" => Query::RangeSum {
+            lo: field("lo")?,
+            hi: field("hi")?,
+        },
+        other => {
+            return Err(RequestError::new(
+                id,
+                "unknown_op",
+                format!("unknown op {other:?} (expected point or range_sum)"),
+            ));
+        }
+    };
+    Ok(Request { id, query })
+}
+
+fn id_value(id: Option<i128>) -> Value {
+    match id {
+        Some(i) => Value::Int(i),
+        None => Value::Null,
+    }
+}
+
+/// Renders a request line for `query` with id `id` (the client side).
+pub fn request_line(id: i128, query: &Query) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), Value::Int(id)),
+        ("op".to_string(), Value::from(query.op())),
+    ];
+    let arr = |v: &[usize]| Value::Array(v.iter().map(|&x| Value::from(x)).collect());
+    match query {
+        Query::Point { pos } => pairs.push(("pos".into(), arr(pos))),
+        Query::RangeSum { lo, hi } => {
+            pairs.push(("lo".into(), arr(lo)));
+            pairs.push(("hi".into(), arr(hi)));
+        }
+    }
+    Value::Object(pairs).to_string()
+}
+
+/// Renders a success response line.
+pub fn ok_response(id: Option<i128>, value: f64) -> String {
+    Value::Object(vec![
+        ("id".into(), id_value(id)),
+        ("ok".into(), Value::Bool(true)),
+        ("value".into(), Value::Float(value)),
+    ])
+    .to_string()
+}
+
+/// Renders a typed error response line.
+pub fn err_response(id: Option<i128>, kind: &str, message: &str) -> String {
+    Value::Object(vec![
+        ("id".into(), id_value(id)),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::from(kind)),
+        ("message".into(), Value::from(message)),
+    ])
+    .to_string()
+}
+
+/// A parsed response line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The echoed request id.
+    pub id: Option<i128>,
+    /// The answer, or `(error kind, message)`.
+    pub result: Result<f64, (String, String)>,
+}
+
+/// Parses one response line (the client side).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = json::parse(line).map_err(|e| format!("invalid response JSON: {e}"))?;
+    let id = match v.get("id") {
+        Some(Value::Int(i)) => Some(*i),
+        _ => None,
+    };
+    match v.get("ok") {
+        Some(Value::Bool(true)) => {
+            let value = v
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or("ok response missing numeric value")?;
+            Ok(Response {
+                id,
+                result: Ok(value),
+            })
+        }
+        Some(Value::Bool(false)) => {
+            let kind = v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let message = v
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            Ok(Response {
+                id,
+                result: Err((kind, message)),
+            })
+        }
+        _ => Err("response missing boolean ok".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        for q in [
+            Query::Point { pos: vec![3, 9] },
+            Query::RangeSum {
+                lo: vec![0, 0],
+                hi: vec![7, 7],
+            },
+        ] {
+            let line = request_line(42, &q);
+            let back = parse_request(&line).unwrap();
+            assert_eq!(back.id, Some(42));
+            assert_eq!(back.query, q);
+        }
+    }
+
+    #[test]
+    fn response_round_trip_is_exact_for_awkward_floats() {
+        for v in [0.1 + 0.2, 1.0 / 3.0, -0.0, 1e-300, 12_345.678_901_234_5] {
+            let line = ok_response(Some(7), v);
+            let back = parse_response(&line).unwrap();
+            assert_eq!(back.result, Ok(v), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert_eq!(parse_request("not json").unwrap_err().kind, "parse");
+        assert_eq!(parse_request("[1,2]").unwrap_err().kind, "parse");
+        assert_eq!(
+            parse_request(r#"{"id":1,"op":"bogus"}"#).unwrap_err().kind,
+            "unknown_op"
+        );
+        let e = parse_request(r#"{"id":1,"op":"point"}"#).unwrap_err();
+        assert_eq!((e.kind, e.id), ("bad_request", Some(1)));
+        let e = parse_request(r#"{"op":"point","pos":[1,-2]}"#).unwrap_err();
+        assert_eq!(e.kind, "bad_request");
+    }
+
+    #[test]
+    fn validation_checks_arity_bounds_and_ordering() {
+        let dims = [16usize, 8];
+        assert!(Query::Point { pos: vec![15, 7] }.validate(&dims).is_ok());
+        assert!(Query::Point { pos: vec![16, 0] }.validate(&dims).is_err());
+        assert!(Query::Point { pos: vec![1] }.validate(&dims).is_err());
+        assert!(Query::RangeSum {
+            lo: vec![2, 3],
+            hi: vec![1, 5]
+        }
+        .validate(&dims)
+        .is_err());
+        assert!(Query::RangeSum {
+            lo: vec![2, 3],
+            hi: vec![15, 7]
+        }
+        .validate(&dims)
+        .is_ok());
+    }
+
+    #[test]
+    fn error_response_renders_kind_and_message() {
+        let line = err_response(None, "bad_request", "pos[0] out of range");
+        let back = parse_response(&line).unwrap();
+        assert_eq!(back.id, None);
+        let (kind, msg) = back.result.unwrap_err();
+        assert_eq!(kind, "bad_request");
+        assert!(msg.contains("out of range"));
+    }
+}

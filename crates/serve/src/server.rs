@@ -1,0 +1,380 @@
+//! The concurrent query server.
+//!
+//! Thread layout:
+//!
+//! * one **acceptor** thread owns the listener and spawns a reader/writer
+//!   thread pair per connection,
+//! * per-connection **readers** parse and validate each line immediately
+//!   (errors are answered right away with a typed response) and push valid
+//!   requests — already planned into contribution lists — onto one shared
+//!   queue,
+//! * a fixed pool of **executor** workers drains up to
+//!   [`ServeConfig::batch_max`] pending requests per sweep and evaluates
+//!   them **tile-major** through [`ss_query::execute_plans`]: requests that
+//!   arrived concurrently from different clients share one fetch of every
+//!   hot tile.
+//!
+//! Replies are written straight to the socket under a per-connection
+//! mutex (shared by the executors and the reader's error path), not
+//! queued to a writer thread: a response must be **on the wire before it
+//! is counted** against the request budget, or a budgeted server could
+//! stop — and its process exit — with the final answer still buffered,
+//! handing that client an EOF.
+//!
+//! Shutdown mirrors [`ss_obs`]'s metrics server: a stop flag plus a
+//! throwaway self-connection to unblock `accept`. A request budget
+//! ([`ServeConfig::max_requests`]) triggers the same path once enough
+//! responses have been written, which is how tests and CI smoke runs get a
+//! bounded, clean exit; pending queued requests are still answered before
+//! the workers park.
+
+use crate::proto::{self, Request, RequestError};
+use ss_core::TilingMap;
+use ss_obs::{Counter, Histogram};
+use ss_storage::{BlockStore, SharedCoeffStore};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One connection's outbound socket half. Executors and the owning
+/// reader's error path write whole response lines under the mutex, so
+/// replies from different sources interleave safely — and synchronously:
+/// by the time the sender counts the reply toward the request budget,
+/// the bytes have already been handed to the kernel. Write errors are
+/// ignored (the client hung up; its reader thread is winding down too).
+struct ReplyLine {
+    out: Mutex<TcpStream>,
+}
+
+impl ReplyLine {
+    fn send(&self, line: &str) {
+        let mut out = self.out.lock().unwrap();
+        let _ = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush());
+    }
+}
+
+/// Server sizing and lifetime knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Executor worker threads draining the shared queue.
+    pub workers: usize,
+    /// Most requests one executor sweep batches together.
+    pub batch_max: usize,
+    /// Stop after this many responses (`None` = serve forever).
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            batch_max: 64,
+            max_requests: None,
+        }
+    }
+}
+
+/// One planned request waiting for an executor.
+struct Job {
+    id: Option<i128>,
+    plan: Vec<(Vec<usize>, f64)>,
+    reply: Arc<ReplyLine>,
+    enqueued: Instant,
+}
+
+struct Metrics {
+    requests_ok: Counter,
+    requests_err: Counter,
+    batches: Counter,
+    request_ns: Histogram,
+    batch_size: Histogram,
+}
+
+impl Metrics {
+    fn resolve() -> Metrics {
+        let r = ss_obs::global();
+        Metrics {
+            requests_ok: r.counter("serve.requests_ok"),
+            requests_err: r.counter("serve.requests_err"),
+            batches: r.counter("serve.batches"),
+            request_ns: r.histogram("serve.request_ns"),
+            batch_size: r.histogram("serve.batch_size"),
+        }
+    }
+}
+
+/// State shared by the acceptor, readers and executors.
+struct State {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+    answered: AtomicU64,
+    max_requests: Option<u64>,
+    addr: SocketAddr,
+    levels: Vec<u32>,
+    dims: Vec<usize>,
+    batch_max: usize,
+    metrics: Metrics,
+}
+
+impl State {
+    /// Counts one written response; reaching the budget triggers stop.
+    fn count_reply(&self) {
+        let n = self.answered.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(max) = self.max_requests {
+            if n >= max {
+                self.trigger_stop();
+            }
+        }
+    }
+
+    fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.available.notify_all();
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// A query server running on background threads.
+///
+/// The handle is deliberately non-generic: the store type is captured by
+/// the worker closures, so callers can hold `QueryServer` values of
+/// different store types uniformly.
+pub struct QueryServer {
+    state: Arc<State>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves standard-form queries against `store`, whose per-axis domain
+    /// levels are `levels`.
+    pub fn bind<M, S>(
+        addr: &str,
+        store: SharedCoeffStore<M, S>,
+        levels: Vec<u32>,
+        config: ServeConfig,
+    ) -> std::io::Result<QueryServer>
+    where
+        M: TilingMap + 'static,
+        S: BlockStore + Send + Sync + 'static,
+    {
+        assert!(config.workers >= 1, "server needs at least one worker");
+        assert!(config.batch_max >= 1, "batch_max must be at least one");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let dims = levels.iter().map(|&n| 1usize << n).collect();
+        let state = Arc::new(State {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            answered: AtomicU64::new(0),
+            max_requests: config.max_requests,
+            addr: local,
+            levels,
+            dims,
+            batch_max: config.batch_max,
+            metrics: Metrics::resolve(),
+        });
+        let store = Arc::new(store);
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let state = Arc::clone(&state);
+            let store = Arc::clone(&store);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ss-serve-exec-{w}"))
+                    .spawn(move || executor_loop(&state, &store))?,
+            );
+        }
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("ss-serve-accept".into())
+            .spawn(move || acceptor_loop(&listener, &acceptor_state))?;
+        Ok(QueryServer {
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Responses written so far.
+    pub fn answered(&self) -> u64 {
+        self.state.answered.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the server stops on its own (request budget reached),
+    /// then joins every server thread and returns the number of responses
+    /// written. Blocks forever when no budget was configured.
+    pub fn join(mut self) -> u64 {
+        self.join_threads();
+        self.state.answered.load(Ordering::Acquire)
+    }
+
+    /// Stops the server and joins its threads; queued requests are still
+    /// answered first. Returns the number of responses written.
+    pub fn shutdown(mut self) -> u64 {
+        self.state.trigger_stop();
+        self.join_threads();
+        self.state.answered.load(Ordering::Acquire)
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.state.trigger_stop();
+            self.join_threads();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, state: &Arc<State>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.stopped() {
+                    return;
+                }
+                // Responses are single lines; waiting for an ACK to
+                // coalesce them would stall closed-loop clients ~40 ms.
+                let _ = stream.set_nodelay(true);
+                let conn_state = Arc::clone(state);
+                // Reader threads are detached: they exit when the client
+                // disconnects (EOF).
+                let _ = std::thread::Builder::new()
+                    .name("ss-serve-conn".into())
+                    .spawn(move || connection_loop(stream, &conn_state));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Per-connection reader: parse, validate, plan, enqueue. The outbound
+/// half of the socket lives in a shared [`ReplyLine`]; executors and this
+/// reader's error path write to it directly.
+fn connection_loop(stream: TcpStream, state: &Arc<State>) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let reply = Arc::new(ReplyLine {
+        out: Mutex::new(writer_stream),
+    });
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if state.stopped() {
+            break;
+        }
+        match parse_and_validate(&line, &state.dims) {
+            Err(e) => {
+                state.metrics.requests_err.inc();
+                reply.send(&proto::err_response(e.id, e.kind, &e.message));
+                state.count_reply();
+            }
+            Ok(req) => {
+                let job = Job {
+                    id: req.id,
+                    plan: req.query.plan(&state.levels),
+                    reply: Arc::clone(&reply),
+                    enqueued: Instant::now(),
+                };
+                let mut queue = state.queue.lock().unwrap();
+                queue.push_back(job);
+                drop(queue);
+                state.available.notify_one();
+            }
+        }
+    }
+}
+
+fn parse_and_validate(line: &str, dims: &[usize]) -> Result<Request, RequestError> {
+    let req = proto::parse_request(line)?;
+    req.query.validate(dims).map_err(|message| RequestError {
+        id: req.id,
+        kind: "bad_request",
+        message,
+    })?;
+    Ok(req)
+}
+
+/// Executor: drain up to `batch_max` planned requests and answer them in
+/// one tile-major sweep. Answers are bit-identical to serial execution
+/// because [`ss_query::execute_plans`] fixes the evaluation order from the
+/// plans alone.
+fn executor_loop<M, S>(state: &Arc<State>, store: &Arc<SharedCoeffStore<M, S>>)
+where
+    M: TilingMap,
+    S: BlockStore,
+{
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if state.stopped() {
+                    return;
+                }
+                queue = state.available.wait(queue).unwrap();
+            }
+            let n = state.batch_max.min(queue.len());
+            queue.drain(..n).collect()
+        };
+        let mut plans = Vec::with_capacity(batch.len());
+        let mut routes = Vec::with_capacity(batch.len());
+        for job in batch {
+            plans.push(job.plan);
+            routes.push((job.id, job.reply, job.enqueued));
+        }
+        let mut handle: &SharedCoeffStore<M, S> = store;
+        let values = ss_query::execute_plans(&mut handle, &plans);
+        state.metrics.batches.inc();
+        state.metrics.batch_size.record(plans.len() as u64);
+        for ((id, reply, enqueued), value) in routes.into_iter().zip(values) {
+            state
+                .metrics
+                .request_ns
+                .record(enqueued.elapsed().as_nanos() as u64);
+            state.metrics.requests_ok.inc();
+            reply.send(&proto::ok_response(id, value));
+            state.count_reply();
+        }
+    }
+}

@@ -41,6 +41,30 @@ pub trait BlockStore {
     /// not an I/O-counted operation (allocation, not transfer).
     fn grow(&mut self, blocks: usize);
 
+    /// Reads block `id` into `buf` through a **shared** reference, for
+    /// stores whose reads need no exclusive state (immutable memory,
+    /// positional file reads). Returns `None` when the store cannot read
+    /// without `&mut self`; callers must then fall back to
+    /// [`try_read_block`](BlockStore::try_read_block) under exclusive
+    /// access.
+    ///
+    /// The sharded buffer pool uses this to overlap miss latency across
+    /// worker threads: shared reads run under a read lock, so two misses
+    /// on different shards wait on the device concurrently instead of
+    /// serialising behind one store mutex.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range or `buf` has the wrong length.
+    fn try_read_block_shared(
+        &self,
+        id: usize,
+        buf: &mut [f64],
+    ) -> Option<Result<(), StorageError>> {
+        let _ = (id, buf);
+        None
+    }
+
     /// Reads block `id` into `buf`.
     ///
     /// # Panics

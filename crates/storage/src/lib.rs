@@ -65,9 +65,11 @@ pub mod fault;
 pub mod file;
 pub mod mem;
 pub mod pool;
+pub mod read;
 pub mod retry;
 pub mod shard;
 pub mod stats;
+pub mod throttle;
 pub mod wsfile;
 pub mod wstore;
 
@@ -77,8 +79,10 @@ pub use fault::{FaultConfig, FaultInjectingBlockStore};
 pub use file::FileBlockStore;
 pub use mem::MemBlockStore;
 pub use pool::BufferPool;
+pub use read::CoeffRead;
 pub use retry::{RetryPolicy, RetryingBlockStore};
 pub use shard::{mem_shared_store, ShardCounters, ShardedBufferPool, SharedCoeffStore};
 pub use stats::{IoSnapshot, IoStats};
+pub use throttle::ThrottledBlockStore;
 pub use wsfile::{Meta, WsFile, FORMAT_VERSION};
 pub use wstore::CoeffStore;

@@ -59,6 +59,18 @@ impl BlockStore for MemBlockStore {
             self.data.resize(blocks * self.capacity, 0.0);
         }
     }
+
+    fn try_read_block_shared(
+        &self,
+        id: usize,
+        buf: &mut [f64],
+    ) -> Option<Result<(), StorageError>> {
+        assert_eq!(buf.len(), self.capacity, "buffer/block size mismatch");
+        let start = id * self.capacity;
+        buf.copy_from_slice(&self.data[start..start + self.capacity]);
+        self.stats.add_block_reads(1);
+        Some(Ok(()))
+    }
 }
 
 #[cfg(test)]

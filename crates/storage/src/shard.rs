@@ -7,8 +7,15 @@
 //! against one bounded cache. [`ShardedBufferPool`] provides that: the
 //! block-id space is partitioned across `num_shards` independently locked
 //! LRU shards, so two workers touching different shards never contend.
-//! The backing [`BlockStore`] sits behind its own mutex and is only locked
-//! on a miss, an eviction of a dirty frame, or a flush.
+//! The backing [`BlockStore`] sits behind its own reader-writer lock and
+//! is only locked on a miss, an eviction of a dirty frame, or a flush.
+//! Stores that support [`BlockStore::try_read_block_shared`] serve misses
+//! under the *read* half of that lock, so misses on different shards wait
+//! on the device concurrently — the mechanism that lets a pool of query
+//! workers overlap per-block device latency instead of serialising every
+//! cold read behind one mutex. Writes (write-backs, flushes) and reads on
+//! stores without shared-read support take the write half, which behaves
+//! exactly like the old mutex.
 //!
 //! Lock ordering is strictly *shard → store* (a shard lock may be held
 //! while the store lock is taken, never the reverse, and no operation
@@ -27,7 +34,7 @@ use crate::stats::IoStats;
 use ss_core::TilingMap;
 use ss_obs::Histogram;
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 use std::time::Instant;
 
 /// Per-shard cache event counters (a copy; see
@@ -53,7 +60,7 @@ struct Shard {
 /// A write-back LRU block cache usable from many threads at once.
 pub struct ShardedBufferPool<S: BlockStore> {
     shards: Vec<Mutex<Shard>>,
-    store: Mutex<S>,
+    store: RwLock<S>,
     shard_budget: usize,
     block_capacity: usize,
     num_blocks: usize,
@@ -87,7 +94,7 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             shard_budget,
             block_capacity: store.block_capacity(),
             num_blocks: store.num_blocks(),
-            store: Mutex::new(store),
+            store: RwLock::new(store),
             stats,
             shard_wait_ns: ss_obs::global().histogram("pool.shard_lock_wait_ns"),
             store_wait_ns: ss_obs::global().histogram("pool.store_lock_wait_ns"),
@@ -102,10 +109,11 @@ impl<S: BlockStore> ShardedBufferPool<S> {
         guard
     }
 
-    /// Locks the backing store, recording how long the acquisition waited.
-    fn lock_store(&self) -> MutexGuard<'_, S> {
+    /// Locks the backing store exclusively, recording how long the
+    /// acquisition waited.
+    fn lock_store(&self) -> RwLockWriteGuard<'_, S> {
         let t0 = Instant::now();
-        let guard = self.store.lock().unwrap();
+        let guard = self.store.write().unwrap();
         self.store_wait_ns.record(t0.elapsed().as_nanos() as u64);
         guard
     }
@@ -263,7 +271,20 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             }
         }
         let mut data = vec![0.0; self.block_capacity];
-        self.lock_store().read_block(id, &mut data);
+        // Miss read: under the read half of the store lock when the store
+        // can read through a shared reference (misses on other shards then
+        // overlap their device wait), under the write half otherwise.
+        let shared = {
+            let t0 = Instant::now();
+            let guard = self.store.read().unwrap();
+            self.store_wait_ns.record(t0.elapsed().as_nanos() as u64);
+            guard.try_read_block_shared(id, &mut data)
+        };
+        match shared {
+            Some(Ok(())) => {}
+            Some(Err(e)) => std::panic::panic_any(e),
+            None => self.lock_store().read_block(id, &mut data),
+        }
         shard.frames.insert(
             id,
             Frame {

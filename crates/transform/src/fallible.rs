@@ -42,7 +42,7 @@ pub fn try_transform_standard_parallel<M, S>(
 ) -> Result<TransformReport, StorageError>
 where
     M: TilingMap,
-    S: BlockStore + Send,
+    S: BlockStore + Send + Sync,
 {
     catch_unwind(AssertUnwindSafe(|| {
         crate::par::transform_standard_parallel(src, cs, workers)

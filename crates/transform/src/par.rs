@@ -56,7 +56,7 @@ pub fn transform_standard_parallel<M, S>(
 ) -> TransformReport
 where
     M: TilingMap,
-    S: BlockStore + Send,
+    S: BlockStore + Send + Sync,
 {
     let workers = resolve_workers(workers);
     ss_obs::global()
@@ -145,7 +145,7 @@ pub fn transform_nonstandard_parallel<M, S>(
 ) -> TransformReport
 where
     M: TilingMap,
-    S: BlockStore + Send,
+    S: BlockStore + Send + Sync,
 {
     let workers = resolve_workers(workers);
     ss_obs::global()

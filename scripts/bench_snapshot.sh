@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_ingest.json — the committed wall-clock baseline for
-# the ingest path (parallel transform drivers + in-domain maintenance).
+# Regenerates the committed wall-clock baselines: BENCH_ingest.json for
+# the ingest path (parallel transform drivers + in-domain maintenance)
+# and BENCH_serve.json for the concurrent query server (the exp_serve
+# workers × clients sweep, as ss-exp-v1 JSONL rows).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
 # Numbers are host-dependent single measurements: treat the committed
-# baseline as an order-of-magnitude reference when reading experiment
+# baselines as an order-of-magnitude reference when reading experiment
 # results, not as a CI regression gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,3 +36,10 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out} ({len(benches)} benches)")
 PY
+
+serve_out="${2:-BENCH_serve.json}"
+rm -f "$serve_out.tmp"
+SS_EXP_JSON="$serve_out.tmp" cargo run --release -q -p ss-bench --bin exp_serve
+./scripts/check_metrics_schema rows "$serve_out.tmp"
+mv "$serve_out.tmp" "$serve_out"
+echo "wrote $serve_out"

@@ -6,8 +6,9 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 EXPERIMENTS=(exp_table1 exp_table2 exp_fig11 exp_fig12 exp_fig13 exp_fig14 exp_recon exp_tiling exp_ablation exp_approx exp_streams_md)
-# Post-paper extensions (DESIGN.md §7/§9): parallel-driver and durability sweeps.
-EXPERIMENTS+=(exp_par exp_fault)
+# Post-paper extensions (DESIGN.md §7/§9/§10): parallel-driver, durability
+# and query-serving sweeps.
+EXPERIMENTS+=(exp_par exp_fault exp_serve)
 
 cargo build --release -p ss-bench --bins
 

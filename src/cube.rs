@@ -200,7 +200,7 @@ impl<S: BlockStore> WaveletCube<S> {
     /// pool for the duration of the transform, with one shard per worker.
     pub fn ingest_parallel(&mut self, data: &NdArray<f64>, workers: usize)
     where
-        S: Send,
+        S: Send + Sync,
     {
         assert_eq!(data.shape().dims(), self.dims().as_slice());
         let chunk_levels: Vec<u32> = self.levels.iter().map(|&n| n.min(3)).collect();

@@ -122,6 +122,102 @@ fn nonstandard_parallel_workers_straddling_subtrees() {
 }
 
 #[test]
+fn concurrent_readers_match_serial_bit_for_bit() {
+    // N reader threads run randomized point / range-sum / batch queries
+    // against one SharedCoeffStore (through the `&SharedCoeffStore`
+    // CoeffRead impl) while a serial CoeffStore with identical contents
+    // answers the same queries single-threaded. Every answer must agree
+    // bit for bit: the query plans fix the summation order, so thread
+    // interleaving may only change *when* tiles are fetched, never what a
+    // query returns.
+    const THREADS: usize = 6;
+    const QUERIES: usize = 40;
+    let data = noisy(&[32, 32], 53);
+    let t = shiftsplit::core::standard::forward_to(&data);
+    let levels = [5u32, 5];
+    let mut serial = mem_store(
+        StandardTiling::new(&levels, &[2, 2]),
+        1 << 10,
+        IoStats::new(),
+    );
+    // A pool budget far below the 256-tile footprint, so concurrent
+    // readers evict and refetch constantly.
+    let shared = mem_shared_store(StandardTiling::new(&levels, &[2, 2]), 64, 4, IoStats::new());
+    for idx in MultiIndexIter::new(&[32, 32]) {
+        serial.write(&idx, t.get(&idx));
+        shared.write(&idx, t.get(&idx));
+    }
+
+    // Each thread's query mix is a pure function of its seed, so the
+    // serial pass can replay it exactly.
+    let plan_queries = |seed: u64| {
+        let mut rng = SplitMix64::new(seed);
+        let mut points = Vec::new();
+        let mut ranges = Vec::new();
+        for _ in 0..QUERIES {
+            points.push(vec![rng.below(32), rng.below(32)]);
+            let (a, b) = (rng.below(32), rng.below(32));
+            let (c, d) = (rng.below(32), rng.below(32));
+            ranges.push((vec![a.min(b), c.min(d)], vec![a.max(b), c.max(d)]));
+        }
+        (points, ranges)
+    };
+    let serial_answers: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..THREADS)
+        .map(|t| {
+            let (points, ranges) = plan_queries(0xABCD + t as u64);
+            let p: Vec<f64> = points
+                .iter()
+                .map(|pos| shiftsplit::query::point_standard(&mut serial, &levels, pos))
+                .collect();
+            let r: Vec<f64> = ranges
+                .iter()
+                .map(|(lo, hi)| shiftsplit::query::range_sum_standard(&mut serial, &levels, lo, hi))
+                .collect();
+            let b = shiftsplit::query::batch_points(&mut serial, &levels, &points);
+            (p, r, b)
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let shared = &shared;
+            let serial_answers = &serial_answers;
+            scope.spawn(move || {
+                let (points, ranges) = plan_queries(0xABCD + t as u64);
+                let mut handle = shared; // CoeffRead for &SharedCoeffStore
+                let (want_p, want_r, want_b) = &serial_answers[t];
+                for (k, pos) in points.iter().enumerate() {
+                    let got = shiftsplit::query::point_standard(&mut handle, &levels, pos);
+                    assert_eq!(
+                        got.to_bits(),
+                        want_p[k].to_bits(),
+                        "thread {t} point {pos:?}: {got} vs {}",
+                        want_p[k]
+                    );
+                }
+                for (k, (lo, hi)) in ranges.iter().enumerate() {
+                    let got = shiftsplit::query::range_sum_standard(&mut handle, &levels, lo, hi);
+                    assert_eq!(
+                        got.to_bits(),
+                        want_r[k].to_bits(),
+                        "thread {t} range {lo:?}..{hi:?}: {got} vs {}",
+                        want_r[k]
+                    );
+                }
+                let got_b = shiftsplit::query::batch_points(&mut handle, &levels, &points);
+                for (k, (got, want)) in got_b.iter().zip(want_b).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "thread {t} batch point {k}: {got} vs {want}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn sharded_pool_hammer_reconciles_counters() {
     // 8 threads hammer a 32-block store through a sharded pool small
     // enough to evict constantly; afterwards the shard-local counters,
