@@ -66,6 +66,55 @@ fn bench_chunk_deltas(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_forward_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dwt");
+    // Many small chunk transforms — the shape of the maintenance hot path,
+    // where the per-line scratch reuse in haar1d/standard matters most.
+    let chunks: Vec<NdArray<f64>> = (0..64)
+        .map(|s| {
+            NdArray::from_fn(Shape::cube(2, 8), |idx| {
+                ((idx[0] * 7 + idx[1] * 3 + s) % 11) as f64
+            })
+        })
+        .collect();
+    group.throughput(Throughput::Elements(
+        (chunks.len() * chunks[0].len()) as u64,
+    ));
+    group.bench_function("standard_forward_64x_8x8_chunks", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for c in &chunks {
+                let mut t = c.clone();
+                ss_core::standard::forward(&mut t);
+                acc += t.get(&[0, 0]);
+            }
+            acc
+        })
+    });
+    let big = NdArray::from_fn(Shape::cube(2, 256), |idx| {
+        ((idx[0] * 31 + idx[1] * 17) % 23) as f64 - 7.0
+    });
+    group.throughput(Throughput::Elements(big.len() as u64));
+    group.bench_function("standard_forward_256x256", |b| {
+        b.iter(|| {
+            let mut t = big.clone();
+            ss_core::standard::forward(&mut t);
+            t.get(&[0, 0])
+        })
+    });
+    let line: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.throughput(Throughput::Elements(line.len() as u64));
+    group.bench_function("haar1d_forward_4096", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut v = line.clone();
+            ss_core::haar1d::forward_with(&mut v, &mut scratch);
+            v[0]
+        })
+    });
+    group.finish();
+}
+
 fn bench_expand(c: &mut Criterion) {
     let mut group = c.benchmark_group("expand");
     let coeffs: Vec<f64> = (0..(1 << 16)).map(|i| (i as f64 * 0.01).cos()).collect();
@@ -81,6 +130,7 @@ criterion_group!(
     bench_shift_index,
     bench_split_targets,
     bench_chunk_deltas,
+    bench_forward_kernels,
     bench_expand
 );
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks: stream synopsis maintenance throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ss_stream::{BufferedStream, PerItemStream};
+use ss_array::{NdArray, Shape};
+use ss_stream::{BufferedStream, NonStandardStreamSynopsis, PerItemStream};
 
 const N_LEVELS: u32 = 16;
 const K: usize = 32;
@@ -39,5 +40,31 @@ fn bench_stream(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stream);
+/// Result 5 hot path: z-ordered sub-chunks through the indexed cube
+/// crest (formerly a tuple-keyed hash map — this bench guards the
+/// allocation-free rewrite).
+fn bench_multidim_stream(c: &mut Criterion) {
+    let (d, n, m, t_levels) = (2usize, 4u32, 1u32, 4u32);
+    let subs_per_cube = 1usize << (d as u32 * (n - m));
+    let cubes = 1usize << t_levels;
+    let mut rng = ss_datagen::SplitMix64::new(17);
+    let subchunks: Vec<NdArray<f64>> = (0..cubes * subs_per_cube)
+        .map(|_| NdArray::from_fn(Shape::new(&[2, 2]), |_| rng.range(-8.0, 8.0)))
+        .collect();
+    let mut group = c.benchmark_group("stream_synopsis");
+    group.throughput(Throughput::Elements(subchunks.len() as u64));
+    group.sample_size(20);
+    group.bench_function("nonstandard_multidim_push", |b| {
+        b.iter(|| {
+            let mut s = NonStandardStreamSynopsis::new(K, d, n, m, t_levels);
+            for sub in &subchunks {
+                s.push_subchunk(sub);
+            }
+            s.finish()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream, bench_multidim_stream);
 criterion_main!(benches);

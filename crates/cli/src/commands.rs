@@ -121,8 +121,14 @@ pub fn create(args: &Args) -> Result<(), String> {
 }
 
 /// `ingest <store> --data values.csv [--chunk a,b,…] [--workers N]
+/// [--coalesce N [--mode exact|merged]]
 /// [--fault-read P] [--fault-write P] [--fault-seed S] [--retries N]
 /// [--metrics-out FILE] [--metrics-port N]`
+///
+/// `--coalesce N` buffers the SHIFT-SPLIT delta streams of N consecutive
+/// chunks tile-major and group-commits them together (N = 0 buffers the
+/// whole ingest), writing split-path tiles once per group instead of once
+/// per chunk; it composes with neither `--workers` nor fault injection.
 pub fn ingest(args: &Args) -> Result<(), String> {
     // Held for the duration of the transform so a scraper can watch the
     // phase histograms fill in live.
@@ -145,6 +151,31 @@ pub fn ingest(args: &Args) -> Result<(), String> {
         None => None,
     };
     let faults = fault_flags(args)?;
+    if let Some(group) = args.flag_opt("coalesce") {
+        let group: usize = group.parse().map_err(|e| format!("bad --coalesce: {e}"))?;
+        if workers.is_some() || faults.is_some() {
+            return Err("--coalesce composes with neither --workers nor fault injection".into());
+        }
+        let mode = match args.flag_opt("mode") {
+            Some(m) => {
+                ss_maintain::FlushMode::parse(m).ok_or(format!("bad --mode: {m} (exact|merged)"))?
+            }
+            None => ss_maintain::FlushMode::Exact,
+        };
+        let report = ss_maintain::transform_standard_coalesced(&src, &mut ws.store, group, mode);
+        ws.meta.filled = dims[ws.meta.axis];
+        ws.save_meta()?;
+        println!(
+            "ingested {} cells in {} chunks with {} group flushes \
+             ({} tiles written, coalescing ratio {:.2})",
+            report.input_coeffs,
+            report.chunks,
+            report.flushes,
+            report.flush.tiles_written,
+            report.flush.coalescing_ratio()
+        );
+        return metrics::emit(args, &ws.stats);
+    }
     let (mut ws, report) = match (faults, workers) {
         (Some((cfg, policy)), workers) => {
             // Rebuild the stack with the fault/retry wrappers between the
@@ -264,21 +295,132 @@ pub fn extract(args: &Args) -> Result<(), String> {
     metrics::emit(args, &ws.stats)
 }
 
-/// `update <store> --at a,b,… --data delta.csv --dims a,b,…`
+/// `update <store> (--at a,b,… --data delta.csv --dims a,b,… |
+/// --batch boxes.txt [--workers N]) [--mode exact|merged]`
+///
+/// With `--at/--dims/--data`, applies one delta box through the serial
+/// per-box path. With `--batch FILE`, reads one box per line
+/// (`at;dims;datafile`, relative data paths resolved against the batch
+/// file's directory), buffers every box's SHIFT-SPLIT delta stream
+/// tile-major, and group-commits the whole batch with one
+/// read-modify-write per dirty tile and a single durability flush —
+/// instead of one per box. `--workers N` shards the flush across threads
+/// (bit-identical to the serial flush); `--mode merged` pre-sums deltas
+/// per coefficient (smallest flush, equal to serial only up to rounding;
+/// the default `exact` mode is bit-identical).
 pub fn update(args: &Args) -> Result<(), String> {
     let path = args.pos(0, "store path")?;
-    let origin = parse_list(args.flag("at")?)?;
-    let dims = parse_list(args.flag("dims")?)?;
-    let delta = csv::read_array(Path::new(args.flag("data")?), &dims)?;
+    let mode = match args.flag_opt("mode") {
+        Some(m) => {
+            ss_maintain::FlushMode::parse(m).ok_or(format!("bad --mode: {m} (exact|merged)"))?
+        }
+        None => ss_maintain::FlushMode::Exact,
+    };
     let mut ws = WsFile::open(Path::new(path))?;
     check_writable(&ws, "update")?;
-    check_rank(&ws.meta, origin.len())?;
-    let pieces = ss_transform::update_box_standard(&mut ws.store, &ws.meta.levels, &origin, &delta);
+    let Some(batch_file) = args.flag_opt("batch") else {
+        let origin = parse_list(args.flag("at")?)?;
+        let dims = parse_list(args.flag("dims")?)?;
+        let delta = csv::read_array(Path::new(args.flag("data")?), &dims)?;
+        check_rank(&ws.meta, origin.len())?;
+        let report =
+            ss_transform::update_box_standard(&mut ws.store, &ws.meta.levels, &origin, &delta);
+        println!(
+            "applied {} update cells as {} dyadic pieces ({} coefficients touched)",
+            delta.len(),
+            report.pieces,
+            report.coeffs_touched
+        );
+        return metrics::emit(args, &ws.stats);
+    };
+    let boxes = read_batch_file(Path::new(batch_file), &ws.meta)?;
+    let workers = match args.flag_opt("workers") {
+        Some(w) => Some(ss_transform::resolve_workers(
+            w.parse::<usize>()
+                .map_err(|e| format!("bad --workers: {e}"))?,
+        )),
+        None => None,
+    };
+    let levels = ws.meta.levels.clone();
+    let (ws, report) = match workers {
+        Some(workers) => {
+            // Re-house the block file in the sharded thread-safe pool for
+            // the flush, then hand it back (the ingest --workers pattern).
+            let store_path = ws.path().to_path_buf();
+            let meta = ws.meta.clone();
+            let stats = ws.stats.clone();
+            let (map, blocks) = ws.store.into_parts();
+            let shared =
+                ss_storage::SharedCoeffStore::new(map, blocks, 1 << 10, workers, stats.clone());
+            let report = ss_maintain::update_boxes_standard_parallel(
+                &shared, &levels, &boxes, mode, workers,
+            );
+            let (map, blocks) = shared.into_parts();
+            (
+                WsFile::from_parts(meta, map, blocks, stats, &store_path),
+                report,
+            )
+        }
+        None => {
+            let report = ss_maintain::update_boxes_standard(&mut ws.store, &levels, &boxes, mode);
+            (ws, report)
+        }
+    };
     println!(
-        "applied {} update cells as {pieces} dyadic pieces",
-        delta.len()
+        "applied {} boxes as {} dyadic pieces ({} coefficients); \
+         group flush wrote {} tiles for {} per-box tile touches \
+         (coalescing ratio {:.2})",
+        boxes.len(),
+        report.update.pieces,
+        report.update.coeffs_touched,
+        report.flush.tiles_written,
+        report.flush.tile_touches,
+        report.flush.coalescing_ratio()
     );
     metrics::emit(args, &ws.stats)
+}
+
+/// An update box: origin plus the dense delta to add there.
+type UpdateBox = (Vec<usize>, NdArray<f64>);
+
+/// Parses a `--batch` file: one box per line, `at;dims;datafile`
+/// (semicolon-separated, `#` comments and blank lines skipped). Relative
+/// data paths resolve against the batch file's directory.
+fn read_batch_file(path: &Path, meta: &Meta) -> Result<Vec<UpdateBox>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read batch file {}: {e}", path.display()))?;
+    let base = path.parent().unwrap_or(Path::new("."));
+    let mut boxes = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(';').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "batch line {}: expected `at;dims;datafile`, got {line:?}",
+                lineno + 1
+            ));
+        }
+        let origin = parse_list(parts[0].trim())?;
+        let dims = parse_list(parts[1].trim())?;
+        check_rank(meta, origin.len())?;
+        let data_path = {
+            let p = Path::new(parts[2].trim());
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                base.join(p)
+            }
+        };
+        let delta = csv::read_array(&data_path, &dims)?;
+        boxes.push((origin, delta));
+    }
+    if boxes.is_empty() {
+        return Err("batch file holds no boxes".into());
+    }
+    Ok(boxes)
 }
 
 /// `append <store> --data chunk.csv --extent n`

@@ -34,12 +34,20 @@ USAGE:
 
 COMMANDS:
   create  <store> --levels a,b,…   create an empty store (log2 sizes)
-  ingest  <store> --data FILE [--workers N]   transform a full dataset into the store
-          (--workers 0 = one worker per core; omit for the serial driver)
+  ingest  <store> --data FILE [--workers N] [--coalesce N]
+          transform a full dataset into the store
+          (--workers 0 = one worker per core; omit for the serial driver;
+          --coalesce N group-commits every N chunks through the tile-major
+          delta buffer, 0 = one flush for the whole ingest)
   point   <store> i,j,…            query one cell
   sum     <store> --lo … --hi …    range-sum query
   extract <store> --lo … --hi …    reconstruct a region
   update  <store> --at … --dims … --data FILE   add a delta box
+          or: --batch FILE [--workers N] [--mode exact|merged]
+          (one box per line `at;dims;datafile`; the batch is buffered
+          tile-major and group-committed — one read-modify-write per
+          dirty tile and one durability flush for the whole batch;
+          exact mode is bit-identical to applying the boxes one by one)
   append  <store> --extent N --data FILE        append along the grow axis
   scrub   <store>                  verify every block against its CRC-32
           (exit 0 = intact, 2 = corruption detected)
@@ -538,6 +546,181 @@ mod tests {
         assert_eq!(got.to_bits(), want.to_bits(), "range sum");
         // The budget is now spent: the serve command returns Ok on its own.
         server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes a CSV cube of `rows x cols` pseudorandom values and returns
+    /// the file path.
+    fn write_cube_csv(dir: &std::path::Path, name: &str, rows: usize, cols: usize) -> String {
+        let data: Vec<String> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| (((r * 31 + c * 7) % 23) as f64 / 3.0).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let f = dir.join(name);
+        std::fs::write(&f, data.join("\n")).unwrap();
+        f.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn batched_update_matches_serial_updates() {
+        // One store updated box-by-box, one with `update --batch`, one with
+        // `--batch --workers 3`: all cells must read back bit-identically.
+        let dir = tmp_dir("batch_update");
+        let data = write_cube_csv(&dir, "base.csv", 16, 16);
+        // Three overlapping delta boxes.
+        let d1 = dir.join("d1.csv");
+        std::fs::write(&d1, "1,2,3\n4,5,6\n").unwrap();
+        let d2 = dir.join("d2.csv");
+        std::fs::write(&d2, "-1,-1\n-1,-1\n-1,-1\n").unwrap();
+        let d3 = dir.join("d3.csv");
+        std::fs::write(&d3, "0.5,0.25\n").unwrap();
+        let boxes = [
+            ("2,3", "2,3", "d1.csv"),
+            ("3,4", "3,2", "d2.csv"),
+            ("14,0", "1,2", "d3.csv"),
+        ];
+        let batch = dir.join("boxes.txt");
+        let batch_text: String = boxes
+            .iter()
+            .map(|(at, dims, f)| format!("{at};{dims};{f}\n"))
+            .collect();
+        std::fs::write(&batch, format!("# three boxes\n\n{batch_text}")).unwrap();
+        let mut stores = Vec::new();
+        for (name, batched) in [
+            ("serial", None),
+            ("batch", Some(&[][..])),
+            ("batch_par", Some(&["--workers", "3"][..])),
+            ("batch_merged", Some(&["--mode", "merged"][..])),
+        ] {
+            let store = dir.join(format!("{name}.ws"));
+            let store_s = store.to_str().unwrap().to_string();
+            run(&to_args(&[
+                "create", &store_s, "--levels", "4,4", "--tiles", "2,2",
+            ]))
+            .unwrap();
+            run(&to_args(&["ingest", &store_s, "--data", &data])).unwrap();
+            match batched {
+                None => {
+                    for (at, dims, f) in &boxes {
+                        let df = dir.join(f);
+                        run(&to_args(&[
+                            "update",
+                            &store_s,
+                            "--at",
+                            at,
+                            "--dims",
+                            dims,
+                            "--data",
+                            df.to_str().unwrap(),
+                        ]))
+                        .unwrap();
+                    }
+                }
+                Some(extra) => {
+                    let mut args = vec!["update", &store_s, "--batch", batch.to_str().unwrap()];
+                    args.extend_from_slice(extra);
+                    run(&to_args(&args)).unwrap();
+                }
+            }
+            stores.push(store);
+        }
+        let mut serial = crate::wsfile::WsFile::open(&stores[0]).unwrap();
+        for (i, name) in ["batch", "batch_par"].iter().enumerate() {
+            let mut other = crate::wsfile::WsFile::open(&stores[i + 1]).unwrap();
+            for r in 0..16usize {
+                for c in 0..16usize {
+                    let a =
+                        ss_query::point_standard(&mut serial.store, &serial.meta.levels, &[r, c]);
+                    let b = ss_query::point_standard(&mut other.store, &other.meta.levels, &[r, c]);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{name} cell ({r},{c}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+        // Merged mode: equal within rounding only.
+        let mut merged = crate::wsfile::WsFile::open(&stores[3]).unwrap();
+        for r in 0..16usize {
+            for c in 0..16usize {
+                let a = ss_query::point_standard(&mut serial.store, &serial.meta.levels, &[r, c]);
+                let b = ss_query::point_standard(&mut merged.store, &merged.meta.levels, &[r, c]);
+                assert!((a - b).abs() < 1e-9, "merged cell ({r},{c}): {a} vs {b}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coalesced_ingest_matches_plain_ingest() {
+        let dir = tmp_dir("coalesce_ingest");
+        let data = write_cube_csv(&dir, "d.csv", 16, 16);
+        let mut stores = Vec::new();
+        for (name, extra) in [
+            ("plain", &[][..]),
+            ("coalesced", &["--coalesce", "4"][..]),
+            ("one_flush", &["--coalesce", "0"][..]),
+        ] {
+            let store = dir.join(format!("{name}.ws"));
+            let store_s = store.to_str().unwrap().to_string();
+            run(&to_args(&[
+                "create", &store_s, "--levels", "4,4", "--tiles", "2,2",
+            ]))
+            .unwrap();
+            let mut args = vec!["ingest", &store_s, "--data", &data];
+            args.extend_from_slice(extra);
+            run(&to_args(&args)).unwrap();
+            run(&to_args(&["scrub", &store_s])).unwrap();
+            stores.push(store);
+        }
+        let mut plain = crate::wsfile::WsFile::open(&stores[0]).unwrap();
+        for other in &stores[1..] {
+            let mut ws = crate::wsfile::WsFile::open(other).unwrap();
+            for r in 0..16usize {
+                for c in 0..16usize {
+                    let a = ss_query::point_standard(&mut plain.store, &plain.meta.levels, &[r, c]);
+                    let b = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[r, c]);
+                    assert_eq!(a.to_bits(), b.to_bits(), "cell ({r},{c}): {a} vs {b}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coalesce_rejects_workers_and_faults() {
+        let dir = tmp_dir("coalesce_reject");
+        let data = write_cube_csv(&dir, "d.csv", 4, 4);
+        let store = dir.join("s.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&["create", &store_s, "--levels", "2,2"])).unwrap();
+        assert!(run(&to_args(&[
+            "ingest",
+            &store_s,
+            "--data",
+            &data,
+            "--coalesce",
+            "2",
+            "--workers",
+            "2",
+        ]))
+        .is_err());
+        assert!(run(&to_args(&[
+            "ingest",
+            &store_s,
+            "--data",
+            &data,
+            "--coalesce",
+            "2",
+            "--fault-read",
+            "0.1",
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,19 +13,38 @@
 //! the two so callers can rank coefficients by true L² energy.
 
 use crate::layout::Layout1d;
+use std::cell::RefCell;
+
+thread_local! {
+    // Shared scratch for the argument-less entry points, so tight loops of
+    // short transforms (tile kernels, per-line axis sweeps) do not allocate
+    // once per call.
+    static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// In-place forward Haar transform (unnormalised convention).
+///
+/// Uses a thread-local scratch buffer; hot loops that already own one
+/// should call [`forward_with`] instead.
 ///
 /// # Panics
 ///
 /// Panics when `data.len()` is not a power of two.
 pub fn forward(data: &mut [f64]) {
+    SCRATCH.with(|s| forward_with(data, &mut s.borrow_mut()));
+}
+
+/// [`forward`] with a caller-provided scratch buffer (grown as needed to
+/// `data.len() / 2`); the buffer's contents are clobbered.
+pub fn forward_with(data: &mut [f64], scratch: &mut Vec<f64>) {
     let n = data.len();
     assert!(
         ss_array::is_pow2(n),
         "haar1d::forward: length {n} not a power of two"
     );
-    let mut scratch = vec![0.0f64; n / 2];
+    if scratch.len() < n / 2 {
+        scratch.resize(n / 2, 0.0);
+    }
     let mut width = n;
     while width > 1 {
         let half = width / 2;
@@ -43,16 +62,27 @@ pub fn forward(data: &mut [f64]) {
 
 /// In-place inverse Haar transform (unnormalised convention).
 ///
+/// Uses a thread-local scratch buffer; hot loops that already own one
+/// should call [`inverse_with`] instead.
+///
 /// # Panics
 ///
 /// Panics when `data.len()` is not a power of two.
 pub fn inverse(data: &mut [f64]) {
+    SCRATCH.with(|s| inverse_with(data, &mut s.borrow_mut()));
+}
+
+/// [`inverse`] with a caller-provided scratch buffer (grown as needed to
+/// `data.len()`); the buffer's contents are clobbered.
+pub fn inverse_with(data: &mut [f64], scratch: &mut Vec<f64>) {
     let n = data.len();
     assert!(
         ss_array::is_pow2(n),
         "haar1d::inverse: length {n} not a power of two"
     );
-    let mut scratch = vec![0.0f64; n];
+    if scratch.len() < n {
+        scratch.resize(n, 0.0);
+    }
     let mut width = 1usize;
     while width < n {
         let double = width * 2;

@@ -19,12 +19,12 @@ use ss_array::{MultiIndexIter, NdArray, Shape};
 ///
 /// Panics when any axis size is not a power of two.
 pub fn forward(a: &mut NdArray<f64>) {
-    transform_axes(a, haar_axis_forward);
+    transform_axes(a, LineOp::Forward);
 }
 
 /// In-place inverse of [`forward`].
 pub fn inverse(a: &mut NdArray<f64>) {
-    transform_axes(a, haar_axis_inverse);
+    transform_axes(a, LineOp::Inverse);
 }
 
 /// Out-of-place [`forward`].
@@ -41,61 +41,73 @@ pub fn inverse_to(a: &NdArray<f64>) -> NdArray<f64> {
     out
 }
 
-fn transform_axes(a: &mut NdArray<f64>, line_op: fn(&mut [f64], usize, usize)) {
+/// Which 1-d kernel to run on each line.
+#[derive(Clone, Copy)]
+enum LineOp {
+    Forward,
+    Inverse,
+}
+
+fn transform_axes(a: &mut NdArray<f64>, op: LineOp) {
     let shape = a.shape().clone();
     assert!(
         shape.is_dyadic(),
         "standard form requires power-of-two axes, got {shape:?}"
     );
+    // One gather buffer and one Haar scratch shared by every line of every
+    // axis — the per-line `vec![0.0; len]` allocations this loop used to
+    // make dominated small-chunk transforms.
+    let mut line = Vec::new();
+    let mut scratch = Vec::new();
     for axis in 0..shape.ndim() {
-        apply_along_axis(a, &shape, axis, line_op);
+        apply_along_axis(a, &shape, axis, op, &mut line, &mut scratch);
     }
 }
 
-/// Applies `line_op(buffer, stride, len)` to every 1-d line of `a` along
-/// `axis`. Lines are processed strided, in place.
+/// Applies `op` to every 1-d line of `a` along `axis`. Contiguous lines
+/// (stride 1) are transformed in place; strided lines are gathered into
+/// `line`, transformed, and scattered back.
 fn apply_along_axis(
     a: &mut NdArray<f64>,
     shape: &Shape,
     axis: usize,
-    line_op: fn(&mut [f64], usize, usize),
+    op: LineOp,
+    line: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
 ) {
     let len = shape.dim(axis);
     if len == 1 {
         return;
     }
     let stride = shape.strides()[axis];
+    if line.len() < len {
+        line.resize(len, 0.0);
+    }
     // Iterate over all index tuples with `axis` fixed at zero.
     let mut outer_dims: Vec<usize> = shape.dims().to_vec();
     outer_dims[axis] = 1;
     let data = a.as_mut_slice();
     for idx in MultiIndexIter::new(&outer_dims) {
         let base = shape.offset(&idx);
-        line_op(&mut data[base..], stride, len);
-    }
-}
-
-/// Strided 1-d forward Haar (paper convention) on `data[0], data[stride],
-/// …, data[(len−1)·stride]`.
-fn haar_axis_forward(data: &mut [f64], stride: usize, len: usize) {
-    let mut buf = vec![0.0f64; len];
-    for (i, slot) in buf.iter_mut().enumerate() {
-        *slot = data[i * stride];
-    }
-    crate::haar1d::forward(&mut buf);
-    for (i, &v) in buf.iter().enumerate() {
-        data[i * stride] = v;
-    }
-}
-
-fn haar_axis_inverse(data: &mut [f64], stride: usize, len: usize) {
-    let mut buf = vec![0.0f64; len];
-    for (i, slot) in buf.iter_mut().enumerate() {
-        *slot = data[i * stride];
-    }
-    crate::haar1d::inverse(&mut buf);
-    for (i, &v) in buf.iter().enumerate() {
-        data[i * stride] = v;
+        if stride == 1 {
+            let row = &mut data[base..base + len];
+            match op {
+                LineOp::Forward => crate::haar1d::forward_with(row, scratch),
+                LineOp::Inverse => crate::haar1d::inverse_with(row, scratch),
+            }
+            continue;
+        }
+        let buf = &mut line[..len];
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = data[base + i * stride];
+        }
+        match op {
+            LineOp::Forward => crate::haar1d::forward_with(buf, scratch),
+            LineOp::Inverse => crate::haar1d::inverse_with(buf, scratch),
+        }
+        for (i, &v) in buf.iter().enumerate() {
+            data[base + i * stride] = v;
+        }
     }
 }
 

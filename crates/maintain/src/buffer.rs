@@ -1,0 +1,423 @@
+//! Tile-major delta buffering and group-commit flush.
+
+use ss_core::TilingMap;
+use ss_obs::Stopwatch;
+use ss_storage::{BlockStore, CoeffStore, SharedCoeffStore};
+use std::collections::HashMap;
+
+/// How buffered deltas are reduced at flush time.
+///
+/// See the crate docs for the exactness discussion; the short version is
+/// that [`Exact`](FlushMode::Exact) replays deltas in arrival order (bit
+/// -identical to the serial per-box path, same I/O as `Merged`), while
+/// [`Merged`](FlushMode::Merged) pre-sums them (one add per coefficient,
+/// tolerance-equal only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlushMode {
+    /// Arrival-ordered replay: bit-identical to serial per-box updates.
+    #[default]
+    Exact,
+    /// Dense per-tile accumulation: one add per touched coefficient.
+    Merged,
+}
+
+impl FlushMode {
+    /// Parses the CLI spelling (`exact` / `merged`).
+    pub fn parse(s: &str) -> Option<FlushMode> {
+        match s {
+            "exact" => Some(FlushMode::Exact),
+            "merged" => Some(FlushMode::Merged),
+            _ => None,
+        }
+    }
+}
+
+/// A drained tile and its slot-level delta op list, ready to apply.
+type TileOps = (usize, Vec<(usize, f64)>);
+
+/// Per-tile buffered state.
+enum TileData {
+    /// Arrival-ordered `(slot, delta)` op list.
+    Exact(Vec<(usize, f64)>),
+    /// Dense accumulator indexed by slot.
+    Merged(Vec<f64>),
+}
+
+struct TileBuf {
+    /// `box_seq` value of the last operation that touched this tile; used
+    /// to count distinct (operation, tile) incidences in O(1) per add.
+    stamp: u64,
+    data: TileData,
+}
+
+/// Outcome of one group-commit flush (or a merge of several).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Buffered operations (boxes, chunks) drained by the flush.
+    pub boxes: u64,
+    /// Individual coefficient deltas drained.
+    pub deltas: u64,
+    /// Dirty tiles written — exactly one read-modify-write each.
+    pub tiles_written: u64,
+    /// Distinct (operation, tile) incidences: the number of tile
+    /// read-modify-writes a per-operation path would have performed.
+    pub tile_touches: u64,
+}
+
+impl FlushReport {
+    /// `tile_touches / tiles_written` — how many per-operation tile writes
+    /// each coalesced write replaced. 1.0 when nothing coalesced (or the
+    /// flush was empty); grows with batch size as boxes overlap on the
+    /// split paths near the root.
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.tiles_written == 0 {
+            1.0
+        } else {
+            self.tile_touches as f64 / self.tiles_written as f64
+        }
+    }
+
+    /// Accumulates another flush into this report.
+    pub fn merge(&mut self, other: FlushReport) {
+        self.boxes += other.boxes;
+        self.deltas += other.deltas;
+        self.tiles_written += other.tiles_written;
+        self.tile_touches += other.tile_touches;
+    }
+}
+
+/// Accumulates SHIFT-SPLIT delta streams from many operations, keyed by
+/// tile ordinal, for a single group-commit flush.
+///
+/// Feed it with [`begin_box`](DeltaBuffer::begin_box) +
+/// [`add`](DeltaBuffer::add) (or [`add_at`](DeltaBuffer::add_at) for tuple
+/// indices), then drain with [`flush_into`](DeltaBuffer::flush_into) or
+/// [`flush_into_shared`](DeltaBuffer::flush_into_shared). The buffer is
+/// reusable: a flush resets it to empty.
+pub struct DeltaBuffer {
+    mode: FlushMode,
+    block_capacity: usize,
+    tiles: HashMap<usize, TileBuf>,
+    /// Monotonic operation counter; bumped by `begin_box`.
+    box_seq: u64,
+    deltas: u64,
+    tile_touches: u64,
+}
+
+impl DeltaBuffer {
+    /// An empty buffer for blocks of `block_capacity` coefficients.
+    pub fn new(block_capacity: usize, mode: FlushMode) -> Self {
+        assert!(block_capacity >= 1);
+        DeltaBuffer {
+            mode,
+            block_capacity,
+            tiles: HashMap::new(),
+            box_seq: 0,
+            deltas: 0,
+            tile_touches: 0,
+        }
+    }
+
+    /// Convenience constructor taking the block capacity from a tiling map.
+    pub fn for_map(map: &impl TilingMap, mode: FlushMode) -> Self {
+        DeltaBuffer::new(map.block_capacity(), mode)
+    }
+
+    /// The flush mode this buffer was built with.
+    pub fn mode(&self) -> FlushMode {
+        self.mode
+    }
+
+    /// Marks the start of a new buffered operation (update box, ingest
+    /// chunk). Needed only for the coalescing accounting — deltas added
+    /// before the first `begin_box` count as one implicit operation.
+    pub fn begin_box(&mut self) {
+        self.box_seq += 1;
+    }
+
+    /// Buffers one coefficient delta.
+    pub fn add(&mut self, tile: usize, slot: usize, delta: f64) {
+        debug_assert!(slot < self.block_capacity);
+        let buf = self.tiles.entry(tile).or_insert_with(|| TileBuf {
+            stamp: u64::MAX,
+            data: match self.mode {
+                FlushMode::Exact => TileData::Exact(Vec::new()),
+                FlushMode::Merged => TileData::Merged(vec![0.0; self.block_capacity]),
+            },
+        });
+        if buf.stamp != self.box_seq {
+            buf.stamp = self.box_seq;
+            self.tile_touches += 1;
+        }
+        match &mut buf.data {
+            TileData::Exact(ops) => ops.push((slot, delta)),
+            TileData::Merged(acc) => acc[slot] += delta,
+        }
+        self.deltas += 1;
+    }
+
+    /// Buffers one delta addressed by coefficient tuple index.
+    pub fn add_at(&mut self, map: &impl TilingMap, idx: &[usize], delta: f64) {
+        let loc = map.locate(idx);
+        self.add(loc.tile, loc.slot, delta);
+    }
+
+    /// Number of distinct dirty tiles currently buffered.
+    pub fn dirty_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of individual deltas currently buffered.
+    pub fn pending_deltas(&self) -> u64 {
+        self.deltas
+    }
+
+    /// Number of operations started since the last flush.
+    pub fn boxes(&self) -> u64 {
+        self.box_seq
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Drains the buffer into sorted `(tile, ops)` pairs, resetting it.
+    /// Merged accumulators are lowered to slot-ascending op lists here so
+    /// both flush paths share the apply code.
+    fn drain_sorted(&mut self) -> (Vec<TileOps>, FlushReport) {
+        let report = FlushReport {
+            boxes: self.box_seq.max(u64::from(self.deltas > 0)),
+            deltas: self.deltas,
+            tiles_written: self.tiles.len() as u64,
+            tile_touches: self.tile_touches,
+        };
+        let mut entries: Vec<TileOps> = self
+            .tiles
+            .drain()
+            .map(|(tile, buf)| {
+                let ops = match buf.data {
+                    TileData::Exact(ops) => ops,
+                    TileData::Merged(acc) => acc
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| v != 0.0)
+                        .map(|(slot, &v)| (slot, v))
+                        .collect(),
+                };
+                (tile, ops)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(tile, _)| tile);
+        self.box_seq = 0;
+        self.deltas = 0;
+        self.tile_touches = 0;
+        (entries, report)
+    }
+
+    /// Group-commit flush: one read-modify-write per dirty tile, in
+    /// ascending block order, then a single pool flush.
+    pub fn flush_into<M: TilingMap, S: BlockStore>(
+        &mut self,
+        cs: &mut CoeffStore<M, S>,
+    ) -> FlushReport {
+        let mut sw = Stopwatch::start();
+        let (entries, report) = self.drain_sorted();
+        let stats = cs.stats().clone();
+        let deltas_per_tile = ss_obs::global().histogram("maintain.deltas_per_tile");
+        for (tile, ops) in &entries {
+            deltas_per_tile.record(ops.len() as u64);
+            stats.add_coeff_writes(ops.len() as u64);
+            cs.pool().with_block(*tile, true, |blk| {
+                for &(slot, delta) in ops {
+                    blk[slot] += delta;
+                }
+            });
+        }
+        cs.flush();
+        record_flush_metrics(&report, sw.lap_ns());
+        report
+    }
+
+    /// Parallel group-commit flush over a sharded store: the sorted dirty
+    /// tiles are partitioned into contiguous ranges, one range per worker.
+    /// Every tile is applied by exactly one worker (one shard lock, one
+    /// read-modify-write), so the result is bit-identical to
+    /// [`flush_into`](DeltaBuffer::flush_into) for any `workers >= 1`.
+    pub fn flush_into_shared<M: TilingMap, S: BlockStore + Send + Sync>(
+        &mut self,
+        cs: &SharedCoeffStore<M, S>,
+        workers: usize,
+    ) -> FlushReport {
+        let workers = workers.max(1);
+        let mut sw = Stopwatch::start();
+        let (entries, report) = self.drain_sorted();
+        let deltas_per_tile = ss_obs::global().histogram("maintain.deltas_per_tile");
+        for (_, ops) in &entries {
+            deltas_per_tile.record(ops.len() as u64);
+        }
+        let total = entries.len();
+        std::thread::scope(|scope| {
+            for w in 0..workers.min(total.max(1)) {
+                let lo = total * w / workers;
+                let hi = total * (w + 1) / workers;
+                if lo == hi {
+                    continue;
+                }
+                let range = &entries[lo..hi];
+                scope.spawn(move || {
+                    for (tile, ops) in range {
+                        cs.apply_tile(*tile, ops);
+                    }
+                });
+            }
+        });
+        cs.flush();
+        record_flush_metrics(&report, sw.lap_ns());
+        report
+    }
+}
+
+/// Publishes one flush's outcome to the global metrics registry.
+fn record_flush_metrics(report: &FlushReport, flush_ns: u64) {
+    let g = ss_obs::global();
+    g.counter("maintain.flushes").inc();
+    g.counter("maintain.boxes_buffered").add(report.boxes);
+    g.counter("maintain.deltas_buffered").add(report.deltas);
+    g.counter("maintain.tiles_written")
+        .add(report.tiles_written);
+    g.counter("maintain.tile_touches").add(report.tile_touches);
+    g.gauge("maintain.tiles_dirty").set(report.tiles_written);
+    g.gauge("maintain.coalescing_ratio_x1000")
+        .set((report.coalescing_ratio() * 1000.0) as u64);
+    g.histogram("maintain.flush_ns").record(flush_ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::StandardTiling;
+    use ss_storage::{mem_shared_store, wstore::mem_store, IoStats};
+
+    fn map() -> StandardTiling {
+        StandardTiling::cube(2, 4, 2)
+    }
+
+    #[test]
+    fn exact_flush_replays_in_arrival_order() {
+        let m = map();
+        let mut cs = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        // Deltas whose sum depends on association order.
+        let vals = [1e16, 1.0, -1e16, 1.0];
+        buf.begin_box();
+        for &v in &vals {
+            buf.add(3, 5, v);
+        }
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report.tiles_written, 1);
+        assert_eq!(report.deltas, 4);
+        let mut expect = 0.0f64;
+        for &v in &vals {
+            expect += v;
+        }
+        assert_eq!(cs.read_at(3, 5).to_bits(), expect.to_bits());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn merged_flush_sums_before_applying() {
+        let m = map();
+        let mut cs = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Merged);
+        buf.begin_box();
+        buf.add(0, 1, 2.0);
+        buf.add(0, 1, 3.0);
+        buf.add(0, 2, -1.0);
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report.tiles_written, 1);
+        assert_eq!(cs.read_at(0, 1), 5.0);
+        assert_eq!(cs.read_at(0, 2), -1.0);
+        // Merged apply charges one coefficient write per touched slot.
+        assert_eq!(cs.stats().snapshot().coeff_writes, 2);
+    }
+
+    #[test]
+    fn one_block_write_per_dirty_tile() {
+        let m = map();
+        let stats = IoStats::default();
+        // Pool large enough that only the final flush writes blocks.
+        let mut cs = mem_store(m.clone(), m.num_tiles(), stats.clone());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        for b in 0..10 {
+            buf.begin_box();
+            buf.add(0, 0, b as f64); // every box touches tile 0
+            buf.add(1 + b % 3, 0, 1.0);
+        }
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report.tiles_written, 4); // tiles 0,1,2,3
+        assert_eq!(report.tile_touches, 20); // 10 boxes × 2 tiles each
+        assert_eq!(report.coalescing_ratio(), 5.0);
+        assert_eq!(stats.snapshot().block_writes, 4);
+    }
+
+    #[test]
+    fn parallel_flush_is_bit_identical_for_any_worker_count() {
+        let m = map();
+        let mut serial = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        let deltas: Vec<(usize, usize, f64)> = (0..200)
+            .map(|i| ((i * 7) % m.num_tiles(), (i * 5) % 16, 0.1 + i as f64 * 1e-3))
+            .collect();
+        for chunk in deltas.chunks(10) {
+            buf.begin_box();
+            for &(t, s, v) in chunk {
+                buf.add(t, s, v);
+            }
+        }
+        buf.flush_into(&mut serial);
+        for workers in [1usize, 2, 3, 8] {
+            let shared = mem_shared_store(m.clone(), 8, 4, IoStats::default());
+            let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+            for chunk in deltas.chunks(10) {
+                buf.begin_box();
+                for &(t, s, v) in chunk {
+                    buf.add(t, s, v);
+                }
+            }
+            let report = buf.flush_into_shared(&shared, workers);
+            assert_eq!(report.deltas, 200);
+            let (map_back, store) = shared.into_parts();
+            let mut check = CoeffStore::new(map_back, store, 8, IoStats::default());
+            for tile in 0..m.num_tiles() {
+                for slot in 0..16 {
+                    assert_eq!(
+                        serial.read_at(tile, slot).to_bits(),
+                        check.read_at(tile, slot).to_bits(),
+                        "workers={workers} tile={tile} slot={slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_flush_is_a_noop() {
+        let m = map();
+        let mut cs = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report, FlushReport::default());
+        assert_eq!(report.coalescing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn implicit_first_box_counts_once() {
+        let m = map();
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        buf.add(0, 0, 1.0); // no begin_box
+        let mut cs = mem_store(m, 8, IoStats::default());
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report.boxes, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Coalesced SHIFT-SPLIT maintenance (the I/O argument of Sections 4–5,
+//! applied to *batches* of updates).
+//!
+//! A single box update already coalesces its own deltas per tile, but a
+//! workload of many boxes (or a chunked ingest) repeatedly re-reads and
+//! re-writes the tiles near the top of the wavelet tree: every box SPLITs
+//! into the same `O(log N)` coarse coefficients, so a per-box
+//! read-modify-write cycle pays one block write *per box* for tiles that a
+//! batched scheme would write once. This crate buffers the SHIFT-SPLIT
+//! delta streams of many operations **tile-major** in memory and applies
+//! them with one group-commit flush:
+//!
+//! * [`DeltaBuffer`] — accumulates `(tile, slot, delta)` contributions
+//!   keyed by tile ordinal, merging work destined for the same block,
+//! * [`DeltaBuffer::flush_into`] — exactly one read-modify-write per dirty
+//!   tile, visited in ascending block order (sequential I/O for
+//!   `FileBlockStore`), followed by a single pool flush (one meta/CRC
+//!   writeback per *flush*, not per box),
+//! * [`DeltaBuffer::flush_into_shared`] — the same flush sharded over a
+//!   worker pool: dirty tiles are partitioned into contiguous ranges, each
+//!   tile is owned by exactly one worker, so results are bit-identical to
+//!   the serial flush for any worker count,
+//! * [`engine`] — box-batch drivers ([`update_boxes_standard`],
+//!   [`update_boxes_nonstandard`], parallel twins) and a coalesced ingest
+//!   driver ([`transform_standard_coalesced`]) that group-commits every
+//!   `group` chunks.
+//!
+//! # Exactness
+//!
+//! Floating-point addition is not associative, so summing several deltas
+//! to one coefficient in memory and applying the sum is *not* bit-identical
+//! to applying them one at a time. [`FlushMode`] makes the trade explicit:
+//!
+//! * [`FlushMode::Exact`] (default) keeps each tile's deltas as an
+//!   arrival-ordered op list and replays it during the single per-tile
+//!   read-modify-write. The per-coefficient addition sequence is exactly
+//!   the serial per-box sequence, so the result is **bit-identical** to
+//!   [`ss_transform::update_box_standard`] applied box by box — while
+//!   still writing each dirty tile once.
+//! * [`FlushMode::Merged`] pre-sums deltas into a dense per-tile
+//!   accumulator and applies one add per touched coefficient — the
+//!   smallest possible flush, equal to the serial path only up to
+//!   floating-point rounding.
+//!
+//! Observability: flushes publish `maintain.*` counters, gauges, and
+//! histograms to the global [`ss_obs`] registry (boxes and deltas
+//! buffered, dirty/written tiles, coalescing ratio, flush latency).
+
+pub mod buffer;
+pub mod engine;
+
+pub use buffer::{DeltaBuffer, FlushMode, FlushReport};
+pub use engine::{
+    transform_standard_coalesced, update_boxes_nonstandard, update_boxes_nonstandard_parallel,
+    update_boxes_standard, update_boxes_standard_parallel, BatchReport, IngestReport,
+};

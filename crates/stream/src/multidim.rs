@@ -17,7 +17,7 @@
 
 use crate::synopsis::KTermSynopsis;
 use ss_array::NdArray;
-use std::collections::HashMap;
+use ss_obs::{Histogram, Stopwatch};
 
 /// Time-axis component of a standard-form stream key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -255,6 +255,14 @@ pub enum NsKey {
 /// Hypercubes of side `2^cube_levels` arrive one per time slot, delivered
 /// as `2^sub_levels`-sided sub-chunks **in z-order** (the Result 2
 /// schedule), so only a logarithmic crest is live inside the current cube.
+///
+/// The in-flight crest is a *flat indexed* array rather than a map keyed
+/// by coefficient tuple: under the z-order schedule at most one node per
+/// level `m+1 ..= n` is open at a time, so an open detail is identified by
+/// `(level, subband)` alone — `(2^d − 1)·(n − m)` detail slots plus one
+/// slot for the accumulating cube average. This keeps the per-delta hot
+/// path allocation-free (the map version hashed an owned `Vec<usize>` key
+/// per contribution).
 pub struct NonStandardStreamSynopsis {
     synopsis: KTermSynopsis<NsKey>,
     d: usize,
@@ -263,12 +271,20 @@ pub struct NonStandardStreamSynopsis {
     max_time_levels: u32,
     tau: usize,
     sub_rank: usize,
-    cube_crest: HashMap<Vec<usize>, f64>,
-    cube_avg_acc: f64,
+    /// Flat crest: slot `(level − m − 1)·(2^d − 1) + (eps − 1)` for the
+    /// open detail of `(level, subband eps)`; last slot is the cube
+    /// average.
+    cube_crest: Vec<f64>,
+    /// Which crest slots hold a live (possibly zero-valued) coefficient.
+    crest_occupied: Vec<bool>,
+    crest_live: usize,
     time_crest: Vec<f64>,
     time_avg_acc: f64,
     peak_live: usize,
     finished: bool,
+    /// `stream.push_ns` handle (global registry), one sample per
+    /// sub-chunk.
+    push_ns: Histogram,
 }
 
 impl NonStandardStreamSynopsis {
@@ -283,6 +299,8 @@ impl NonStandardStreamSynopsis {
         max_time_levels: u32,
     ) -> Self {
         assert!(sub_levels <= cube_levels);
+        let det_per_level = (1usize << d) - 1;
+        let crest_slots = det_per_level * (cube_levels - sub_levels) as usize + 1;
         NonStandardStreamSynopsis {
             synopsis: KTermSynopsis::new(k),
             d,
@@ -291,13 +309,22 @@ impl NonStandardStreamSynopsis {
             max_time_levels,
             tau: 0,
             sub_rank: 0,
-            cube_crest: HashMap::new(),
-            cube_avg_acc: 0.0,
+            cube_crest: vec![0.0; crest_slots],
+            crest_occupied: vec![false; crest_slots],
+            crest_live: 0,
             time_crest: vec![0.0; max_time_levels as usize],
             time_avg_acc: 0.0,
             peak_live: 0,
             finished: false,
+            push_ns: ss_obs::global().histogram("stream.push_ns"),
         }
+    }
+
+    /// Crest slot of the open detail at `level` (`> m`) with subband rank
+    /// `eps` (`1 ..= 2^d − 1`).
+    #[inline]
+    fn detail_slot(sub_levels: u32, d: usize, level: u32, eps: usize) -> usize {
+        ((level - sub_levels - 1) as usize) * ((1usize << d) - 1) + (eps - 1)
     }
 
     /// Hypercubes completed.
@@ -323,6 +350,7 @@ impl NonStandardStreamSynopsis {
             self.tau < (1usize << self.max_time_levels),
             "stream exceeded declared time domain"
         );
+        let sw = Stopwatch::start();
         let (d, m) = ss_core::nonstandard::cube_levels(chunk.shape());
         assert_eq!(d, self.d);
         assert_eq!(m, self.sub_levels, "sub-chunk side mismatch");
@@ -334,17 +362,21 @@ impl NonStandardStreamSynopsis {
         let mut t = chunk.clone();
         ss_core::nonstandard::forward(&mut t);
         let tau = self.tau;
+        let avg_slot = self.cube_crest.len() - 1;
         let crest = &mut self.cube_crest;
+        let occupied = &mut self.crest_occupied;
+        let live = &mut self.crest_live;
         let synopsis = &mut self.synopsis;
+        let mut bump = |slot: usize, delta: f64| {
+            if !occupied[slot] {
+                occupied[slot] = true;
+                *live += 1;
+            }
+            crest[slot] += delta;
+        };
         ss_core::split::nonstandard_deltas(&t, n, &block, |idx, delta| {
             match ss_core::nonstandard::coeff_at(n, idx) {
-                ss_core::nonstandard::NsCoeff::Scaling => {
-                    // handled via cube_avg_acc below (delta = avg/2^{d(n-m)})
-                    crest
-                        .entry(vec![usize::MAX; 1]) // sentinel: cube average
-                        .and_modify(|v| *v += delta)
-                        .or_insert(delta);
-                }
+                ss_core::nonstandard::NsCoeff::Scaling => bump(avg_slot, delta),
                 ss_core::nonstandard::NsCoeff::Detail {
                     level,
                     node,
@@ -362,17 +394,15 @@ impl NonStandardStreamSynopsis {
                             (2.0f64).powf(d as f64 * level as f64 / 2.0),
                         );
                     } else {
-                        crest
-                            .entry(idx.to_vec())
-                            .and_modify(|v| *v += delta)
-                            .or_insert(delta);
+                        let eps = subband
+                            .iter()
+                            .fold(0usize, |acc, &e| (acc << 1) | usize::from(e));
+                        bump(Self::detail_slot(m, d, level, eps), delta);
                     }
                 }
             }
         });
-        self.peak_live = self
-            .peak_live
-            .max(self.cube_crest.len() + self.time_crest.len());
+        self.peak_live = self.peak_live.max(self.crest_live + self.time_crest.len());
         // Flush completed quad-tree nodes (z-order completion rule).
         for s in 1..=grid_bits {
             if !(self.sub_rank + 1).is_multiple_of(1usize << (d as u32 * s)) {
@@ -380,39 +410,40 @@ impl NonStandardStreamSynopsis {
             }
             let node: Vec<usize> = block.iter().map(|&b| b >> s).collect();
             for eps in 1usize..(1usize << d) {
+                let slot = Self::detail_slot(m, d, m + s, eps);
+                if !self.crest_occupied[slot] {
+                    continue;
+                }
+                self.crest_occupied[slot] = false;
+                self.crest_live -= 1;
+                let v = std::mem::take(&mut self.cube_crest[slot]);
                 let subband: Vec<bool> = (0..d).map(|t| (eps >> (d - 1 - t)) & 1 == 1).collect();
-                let idx = ss_core::nonstandard::index_of(
-                    n,
-                    &ss_core::nonstandard::NsCoeff::Detail {
+                self.synopsis.offer(
+                    NsKey::Cube {
+                        tau,
                         level: m + s,
                         node: node.clone(),
-                        subband: subband.clone(),
+                        subband,
                     },
+                    v,
+                    (2.0f64).powf(d as f64 * (m + s) as f64 / 2.0),
                 );
-                if let Some(v) = self.cube_crest.remove(&idx) {
-                    self.synopsis.offer(
-                        NsKey::Cube {
-                            tau,
-                            level: m + s,
-                            node: node.clone(),
-                            subband,
-                        },
-                        v,
-                        (2.0f64).powf(d as f64 * (m + s) as f64 / 2.0),
-                    );
-                }
             }
         }
         self.sub_rank += 1;
         if self.sub_rank == 1usize << (d as u32 * grid_bits) {
             self.complete_cube();
         }
+        self.push_ns.record(sw.elapsed_ns());
     }
 
     fn complete_cube(&mut self) {
-        let avg = self.cube_crest.remove(&vec![usize::MAX; 1]).unwrap_or(0.0);
-        debug_assert!(self.cube_crest.is_empty(), "cube crest not drained");
-        self.cube_avg_acc = 0.0;
+        let avg_slot = self.cube_crest.len() - 1;
+        let avg = std::mem::take(&mut self.cube_crest[avg_slot]);
+        if std::mem::take(&mut self.crest_occupied[avg_slot]) {
+            self.crest_live -= 1;
+        }
+        debug_assert_eq!(self.crest_live, 0, "cube crest not drained");
         self.sub_rank = 0;
         // Feed the cube average into the 1-d time tree (per-item style).
         let tau = self.tau;
@@ -438,9 +469,7 @@ impl NonStandardStreamSynopsis {
                 (2.0f64).powf(j as f64 / 2.0) * cube_cells_scale,
             );
         }
-        self.peak_live = self
-            .peak_live
-            .max(self.cube_crest.len() + self.time_crest.len());
+        self.peak_live = self.peak_live.max(self.crest_live + self.time_crest.len());
     }
 
     /// Declares the stream complete; returns the overall average.

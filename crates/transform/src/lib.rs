@@ -41,5 +41,8 @@ pub use chunked::{
 pub use fallible::{try_transform_standard, try_transform_standard_parallel};
 pub use par::{resolve_workers, transform_nonstandard_parallel, transform_standard_parallel};
 pub use source::{ArraySource, ChunkSource, FnSource};
-pub use update::{update_box_pointwise, update_box_standard};
+pub use update::{
+    for_each_box_delta_nonstandard, for_each_box_delta_standard, update_box_nonstandard,
+    update_box_pointwise, update_box_standard, UpdateReport,
+};
 pub use vitter::vitter_transform_standard;

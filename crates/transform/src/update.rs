@@ -8,54 +8,183 @@
 //! `O(V + pieces · Π log(N_t))` coefficient updates for an update volume
 //! `V` — versus `O(V · Π log N_t)` for cell-at-a-time maintenance.
 
-use ss_array::{decompose_range, NdArray};
+use ss_array::{decompose_range, NdArray, Shape};
 use ss_core::TilingMap;
 use ss_storage::{BlockStore, CoeffStore};
+
+/// What one box update amounted to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Dyadic pieces the box decomposed into (cubes, for the non-standard
+    /// form, whose pieces must be subdivided down to their shortest axis).
+    pub pieces: usize,
+    /// SHIFT-SPLIT delta emissions — coefficient touches the update cost.
+    pub coeffs_touched: usize,
+}
+
+impl UpdateReport {
+    /// Accumulates another report (e.g. across the boxes of a batch).
+    pub fn merge(&mut self, other: UpdateReport) {
+        self.pieces += other.pieces;
+        self.coeffs_touched += other.coeffs_touched;
+    }
+}
+
+fn check_box(n_bits: impl Iterator<Item = u32>, origin: &[usize], delta: &NdArray<f64>, d: usize) {
+    assert_eq!(origin.len(), d);
+    assert_eq!(delta.shape().ndim(), d);
+    for (t, ((&o, &e), nt)) in origin
+        .iter()
+        .zip(delta.shape().dims())
+        .zip(n_bits)
+        .enumerate()
+    {
+        assert!(e > 0, "empty update box on axis {t}");
+        assert!(
+            o + e - 1 < (1usize << nt),
+            "update escapes domain on axis {t}"
+        );
+    }
+}
+
+/// Enumerates every `(global index, delta)` a standard-form box update
+/// implies, without touching any store: the shared core behind
+/// [`update_box_standard`] and the coalescing maintenance engine.
+///
+/// One extraction buffer and one set of index scratch vectors are reused
+/// across the dyadic pieces, so the per-piece cost is the transform and the
+/// SHIFT-SPLIT cross product, not allocator traffic.
+pub fn for_each_box_delta_standard(
+    n: &[u32],
+    origin: &[usize],
+    delta: &NdArray<f64>,
+    mut emit: impl FnMut(&[usize], f64),
+) -> UpdateReport {
+    let d = n.len();
+    check_box(n.iter().copied(), origin, delta, d);
+    let hi: Vec<usize> = origin
+        .iter()
+        .zip(delta.shape().dims())
+        .map(|(&o, &e)| o + e - 1)
+        .collect();
+    let pieces = decompose_range(origin, &hi);
+    let mut report = UpdateReport {
+        pieces: pieces.len(),
+        coeffs_touched: 0,
+    };
+    let mut rel_origin = vec![0usize; d];
+    let mut block = vec![0usize; d];
+    let mut extract_buf: Vec<f64> = Vec::new();
+    for piece in &pieces {
+        // Extract the sub-box of `delta` covered by this piece and
+        // SHIFT-SPLIT it at the piece's dyadic position.
+        for (t, (&p, &o)) in piece.origin().iter().zip(origin).enumerate() {
+            rel_origin[t] = p - o;
+            block[t] = piece.axes[t].translation;
+        }
+        let extents = piece.extents();
+        let mut buf = std::mem::take(&mut extract_buf);
+        buf.resize(piece.len(), 0.0);
+        let mut t = NdArray::from_vec(Shape::new(&extents), buf);
+        delta.extract_into(&rel_origin, &mut t);
+        ss_core::standard::forward(&mut t);
+        ss_core::split::standard_deltas(&t, n, &block, |idx, v| {
+            report.coeffs_touched += 1;
+            emit(idx, v);
+        });
+        extract_buf = t.into_vec();
+    }
+    report
+}
+
+/// Enumerates every `(global index, delta)` a **non-standard-form** box
+/// update implies for a `d`-cube domain of side `2^n`.
+///
+/// Non-standard SHIFT-SPLIT requires cubic chunks, so each dyadic piece is
+/// subdivided into aligned cubes of its shortest axis's side before being
+/// transformed; `pieces` in the returned report counts those cubes.
+pub fn for_each_box_delta_nonstandard(
+    n: u32,
+    origin: &[usize],
+    delta: &NdArray<f64>,
+    mut emit: impl FnMut(&[usize], f64),
+) -> UpdateReport {
+    let d = origin.len();
+    check_box(std::iter::repeat_n(n, d), origin, delta, d);
+    let hi: Vec<usize> = origin
+        .iter()
+        .zip(delta.shape().dims())
+        .map(|(&o, &e)| o + e - 1)
+        .collect();
+    let pieces = decompose_range(origin, &hi);
+    let mut report = UpdateReport::default();
+    let mut rel_origin = vec![0usize; d];
+    let mut block = vec![0usize; d];
+    let mut extract_buf: Vec<f64> = Vec::new();
+    for piece in &pieces {
+        let m = piece
+            .axes
+            .iter()
+            .map(|a| a.level)
+            .min()
+            .expect("non-empty rank");
+        let side = 1usize << m;
+        // Sub-cube grid within this (possibly non-cubic) dyadic piece.
+        let grid: Vec<usize> = piece.axes.iter().map(|a| 1usize << (a.level - m)).collect();
+        let cube_shape = Shape::cube(d, side);
+        for cell in ss_array::MultiIndexIter::new(&grid) {
+            for t in 0..d {
+                let abs = piece.axes[t].start() + cell[t] * side;
+                rel_origin[t] = abs - origin[t];
+                block[t] = abs >> m;
+            }
+            let mut buf = std::mem::take(&mut extract_buf);
+            buf.resize(cube_shape.len(), 0.0);
+            let mut t = NdArray::from_vec(cube_shape.clone(), buf);
+            delta.extract_into(&rel_origin, &mut t);
+            ss_core::nonstandard::forward(&mut t);
+            ss_core::split::nonstandard_deltas(&t, n, &block, |idx, v| {
+                report.coeffs_touched += 1;
+                emit(idx, v);
+            });
+            extract_buf = t.into_vec();
+            report.pieces += 1;
+        }
+    }
+    report
+}
 
 /// Adds `delta` (an arbitrary-shaped update box anchored at `origin`) to a
 /// standard-form transformed store, entirely in the wavelet domain.
 ///
 /// `n` are the per-axis domain levels. Neither `origin` nor the box extents
 /// need any alignment; the box is decomposed into dyadic pieces internally.
-///
-/// Returns the number of dyadic pieces processed.
 pub fn update_box_standard<M: TilingMap, S: BlockStore>(
     cs: &mut CoeffStore<M, S>,
     n: &[u32],
     origin: &[usize],
     delta: &NdArray<f64>,
-) -> usize {
-    let d = n.len();
-    assert_eq!(origin.len(), d);
-    assert_eq!(delta.shape().ndim(), d);
-    let hi: Vec<usize> = origin
-        .iter()
-        .zip(delta.shape().dims())
-        .map(|(&o, &e)| o + e - 1)
-        .collect();
-    for (t, (&h, &nt)) in hi.iter().zip(n).enumerate() {
-        assert!(h < (1usize << nt), "update escapes domain on axis {t}");
-    }
-    let pieces = decompose_range(origin, &hi);
-    for piece in &pieces {
-        // Extract the sub-box of `delta` covered by this piece and
-        // SHIFT-SPLIT it at the piece's dyadic position.
-        let rel_origin: Vec<usize> = piece
-            .origin()
-            .iter()
-            .zip(origin)
-            .map(|(&p, &o)| p - o)
-            .collect();
-        let sub = delta.extract(&rel_origin, &piece.extents());
-        let mut t = sub;
-        ss_core::standard::forward(&mut t);
-        let block: Vec<usize> = piece.axes.iter().map(|a| a.translation).collect();
-        ss_core::split::standard_deltas(&t, n, &block, |idx, v| {
-            cs.add(idx, v);
-        });
-    }
+) -> UpdateReport {
+    let report = for_each_box_delta_standard(n, origin, delta, |idx, v| {
+        cs.add(idx, v);
+    });
     cs.flush();
-    pieces.len()
+    report
+}
+
+/// Non-standard-form twin of [`update_box_standard`]: adds `delta` to a
+/// store holding the non-standard transform of a `d`-cube of side `2^n`.
+pub fn update_box_nonstandard<M: TilingMap, S: BlockStore>(
+    cs: &mut CoeffStore<M, S>,
+    n: u32,
+    origin: &[usize],
+    delta: &NdArray<f64>,
+) -> UpdateReport {
+    let report = for_each_box_delta_nonstandard(n, origin, delta, |idx, v| {
+        cs.add(idx, v);
+    });
+    cs.flush();
+    report
 }
 
 /// Cell-at-a-time baseline: applies every update through its Lemma 1 path.
@@ -160,8 +289,9 @@ mod tests {
         let delta = NdArray::from_fn(Shape::new(&[7, 9]), |idx| {
             (idx[0] + 2 * idx[1]) as f64 - 5.0
         });
-        let pieces = update_box_standard(&mut cs, &[5, 5], &[3, 5], &delta);
-        assert!(pieces > 1, "misaligned box must decompose");
+        let report = update_box_standard(&mut cs, &[5, 5], &[3, 5], &delta);
+        assert!(report.pieces > 1, "misaligned box must decompose");
+        assert!(report.coeffs_touched > 0);
         for rel in MultiIndexIter::new(&[7, 9]) {
             let idx = [3 + rel[0], 5 + rel[1]];
             data.set(&idx, data.get(&idx) + delta.get(&rel));
@@ -173,8 +303,8 @@ mod tests {
     fn aligned_box_is_single_piece() {
         let (mut data, mut cs) = setup(32, 5);
         let delta = NdArray::from_fn(Shape::new(&[8, 8]), |_| 1.5);
-        let pieces = update_box_standard(&mut cs, &[5, 5], &[8, 16], &delta);
-        assert_eq!(pieces, 1);
+        let report = update_box_standard(&mut cs, &[5, 5], &[8, 16], &delta);
+        assert_eq!(report.pieces, 1);
         for rel in MultiIndexIter::new(&[8, 8]) {
             let idx = [8 + rel[0], 16 + rel[1]];
             data.set(&idx, data.get(&idx) + 1.5);
@@ -229,5 +359,49 @@ mod tests {
         let (_, mut cs) = setup(16, 4);
         let delta = NdArray::from_fn(Shape::new(&[4, 4]), |_| 1.0);
         update_box_standard(&mut cs, &[4, 4], &[14, 0], &delta);
+    }
+
+    #[test]
+    fn nonstandard_box_update_matches_recompute() {
+        use ss_core::tiling::NonStandardTiling;
+        let n = 5u32;
+        let side = 1usize << n;
+        let mut data = NdArray::from_fn(Shape::cube(2, side), |idx| {
+            ((idx[0] * 11 + idx[1] * 7) % 17) as f64 - 4.0
+        });
+        let t = ss_core::nonstandard::forward_to(&data);
+        let mut cs = mem_store(NonStandardTiling::new(2, n, 2), 1024, IoStats::new());
+        for idx in MultiIndexIter::new(&[side, side]) {
+            cs.write(&idx, t.get(&idx));
+        }
+        // An awkward 7x9 box at (3, 5): pieces of mixed extents, so cubic
+        // subdivision must kick in.
+        let delta = NdArray::from_fn(Shape::new(&[7, 9]), |idx| {
+            (idx[0] * 2 + idx[1]) as f64 * 0.5 - 3.0
+        });
+        let report = update_box_nonstandard(&mut cs, n, &[3, 5], &delta);
+        assert!(report.pieces > 1);
+        for rel in MultiIndexIter::new(&[7, 9]) {
+            let idx = [3 + rel[0], 5 + rel[1]];
+            data.set(&idx, data.get(&idx) + delta.get(&rel));
+        }
+        let want = ss_core::nonstandard::forward_to(&data);
+        for idx in MultiIndexIter::new(&[side, side]) {
+            let got = cs.read(&idx);
+            assert!(
+                (got - want.get(&idx)).abs() < 1e-9,
+                "{idx:?}: {got} vs {}",
+                want.get(&idx)
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_core_reports_touch_count() {
+        let delta = NdArray::from_fn(Shape::new(&[3, 3]), |idx| (idx[0] + idx[1]) as f64 + 1.0);
+        let mut count = 0usize;
+        let report = for_each_box_delta_standard(&[4, 4], &[1, 2], &delta, |_, _| count += 1);
+        assert_eq!(report.coeffs_touched, count);
+        assert!(report.pieces >= 4, "3x3 at (1,2) must shatter");
     }
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates the committed wall-clock baselines: BENCH_ingest.json for
-# the ingest path (parallel transform drivers + in-domain maintenance)
-# and BENCH_serve.json for the concurrent query server (the exp_serve
-# workers × clients sweep, as ss-exp-v1 JSONL rows).
+# the ingest path (parallel transform drivers + in-domain maintenance),
+# BENCH_serve.json for the concurrent query server (the exp_serve
+# workers × clients sweep, as ss-exp-v1 JSONL rows) and BENCH_update.json
+# for the coalesced maintenance engine (the exp_update batch × box-size ×
+# form sweep, same row format).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
@@ -43,3 +45,10 @@ SS_EXP_JSON="$serve_out.tmp" cargo run --release -q -p ss-bench --bin exp_serve
 ./scripts/check_metrics_schema rows "$serve_out.tmp"
 mv "$serve_out.tmp" "$serve_out"
 echo "wrote $serve_out"
+
+update_out="${3:-BENCH_update.json}"
+rm -f "$update_out.tmp"
+SS_EXP_JSON="$update_out.tmp" cargo run --release -q -p ss-bench --bin exp_update
+./scripts/check_metrics_schema rows "$update_out.tmp"
+mv "$update_out.tmp" "$update_out"
+echo "wrote $update_out"

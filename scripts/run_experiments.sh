@@ -6,9 +6,9 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 EXPERIMENTS=(exp_table1 exp_table2 exp_fig11 exp_fig12 exp_fig13 exp_fig14 exp_recon exp_tiling exp_ablation exp_approx exp_streams_md)
-# Post-paper extensions (DESIGN.md §7/§9/§10): parallel-driver, durability
-# and query-serving sweeps.
-EXPERIMENTS+=(exp_par exp_fault exp_serve)
+# Post-paper extensions (DESIGN.md §7/§9/§10/§11): parallel-driver,
+# durability, query-serving and coalesced-maintenance sweeps.
+EXPERIMENTS+=(exp_par exp_fault exp_serve exp_update)
 
 cargo build --release -p ss-bench --bins
 

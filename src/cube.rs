@@ -264,7 +264,7 @@ impl<S: BlockStore> WaveletCube<S> {
     pub fn update(&mut self, origin: &[usize], delta: &NdArray<f64>) -> usize {
         self.fast_point_ready = false;
         let cs = self.cs.as_mut().expect("coefficient store present");
-        ss_transform::update_box_standard(cs, &self.levels, origin, delta)
+        ss_transform::update_box_standard(cs, &self.levels, origin, delta).pieces
     }
 
     /// Builds a K-term synopsis for approximate querying.

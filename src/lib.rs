@@ -11,6 +11,8 @@
 //! * [`query`] — point / range-sum / partial-reconstruction queries,
 //! * [`transform`] — out-of-core chunked transforms and wavelet-domain
 //!   appending,
+//! * [`maintain`] — tile-major delta buffering and group-committed
+//!   (optionally parallel) batch updates,
 //! * [`stream`] — K-term synopses of data streams,
 //! * [`datagen`] — synthetic stand-ins for the paper's datasets.
 //!
@@ -27,6 +29,7 @@ pub use cube::{WaveletCube, WaveletCubeBuilder};
 pub use ss_array as array;
 pub use ss_core as core;
 pub use ss_datagen as datagen;
+pub use ss_maintain as maintain;
 pub use ss_query as query;
 pub use ss_storage as storage;
 pub use ss_stream as stream;
