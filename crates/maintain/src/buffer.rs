@@ -258,7 +258,7 @@ impl DeltaBuffer {
         }
         let total = entries.len();
         std::thread::scope(|scope| {
-            for w in 0..workers.min(total.max(1)) {
+            for w in 0..workers {
                 let lo = total * w / workers;
                 let hi = total * (w + 1) / workers;
                 if lo == hi {
@@ -376,7 +376,7 @@ mod tests {
             }
         }
         buf.flush_into(&mut serial);
-        for workers in [1usize, 2, 3, 8] {
+        for workers in [1usize, 2, 3, 8, 16, 64] {
             let shared = mem_shared_store(m.clone(), 8, 4, IoStats::default());
             let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
             for chunk in deltas.chunks(10) {
@@ -397,6 +397,43 @@ mod tests {
                         "workers={workers} tile={tile} slot={slot}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_flush_applies_all_tiles_when_workers_exceed_dirty_count() {
+        let m = map();
+        // Only 3 dirty tiles, far fewer than the worker counts below.
+        let deltas: [(usize, usize, f64); 3] = [(0, 1, 1.0), (2, 5, 2.0), (5, 9, 3.0)];
+        let mut serial = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        buf.begin_box();
+        for &(t, s, v) in &deltas {
+            buf.add(t, s, v);
+        }
+        buf.flush_into(&mut serial);
+        for workers in [4usize, 8, 16] {
+            let shared = mem_shared_store(m.clone(), 8, 4, IoStats::default());
+            let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+            buf.begin_box();
+            for &(t, s, v) in &deltas {
+                buf.add(t, s, v);
+            }
+            let report = buf.flush_into_shared(&shared, workers);
+            assert_eq!(report.tiles_written, 3);
+            let (map_back, store) = shared.into_parts();
+            let mut check = CoeffStore::new(map_back, store, 8, IoStats::default());
+            for &(t, s, v) in &deltas {
+                assert_eq!(
+                    check.read_at(t, s).to_bits(),
+                    v.to_bits(),
+                    "workers={workers} tile={t} slot={s} lost its delta"
+                );
+                assert_eq!(
+                    serial.read_at(t, s).to_bits(),
+                    check.read_at(t, s).to_bits()
+                );
             }
         }
     }
