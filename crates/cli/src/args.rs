@@ -11,16 +11,26 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses raw arguments (everything after the subcommand name).
+    /// Parses raw arguments (everything after the subcommand name). A
+    /// `--flag` followed by another `--flag` (or nothing) is a bare
+    /// boolean switch, stored with an empty value and queried via
+    /// [`Args::flag_set`]; value-taking flags that are left bare fail
+    /// later when their value is parsed.
     pub fn parse(raw: &[String]) -> Result<Args, String> {
         let mut out = Args::default();
-        let mut it = raw.iter();
-        while let Some(arg) = it.next() {
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            i += 1;
             if let Some(key) = arg.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                if out.flags.insert(key.to_string(), value.clone()).is_some() {
+                let value = match raw.get(i) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => String::new(),
+                };
+                if out.flags.insert(key.to_string(), value).is_some() {
                     return Err(format!("duplicate flag --{key}"));
                 }
             } else {
@@ -54,6 +64,11 @@ impl Args {
     /// An optional flag value.
     pub fn flag_opt(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// True when the flag was given at all (with or without a value).
+    pub fn flag_set(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 }
 
@@ -91,8 +106,15 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_value_and_duplicates() {
-        assert!(Args::parse(&raw(&["--k"])).is_err());
+    fn bare_flags_are_boolean_switches_and_duplicates_rejected() {
+        let a = Args::parse(&raw(&["--writable", "--port", "0"])).unwrap();
+        assert!(a.flag_set("writable"));
+        assert_eq!(a.flag_opt("writable"), Some(""));
+        assert_eq!(a.flag_opt("port"), Some("0"));
+        assert!(!a.flag_set("absent"));
+        // A value-taking flag left bare fails when its value is used.
+        let a = Args::parse(&raw(&["--k"])).unwrap();
+        assert_eq!(a.flag("k").unwrap(), "");
         assert!(Args::parse(&raw(&["--k", "1", "--k", "2"])).is_err());
     }
 

@@ -642,7 +642,7 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
 }
 
 /// `serve <store> [--port N] [--workers W] [--batch B] [--requests K]
-/// [--addr-file FILE]`
+/// [--addr-file FILE] [--writable [--wal FILE] [--mode exact|merged]]`
 ///
 /// Serves standard-form point and range-sum queries against the store over
 /// plain TCP (line-delimited JSON; see the `ss-serve` crate docs for the
@@ -653,6 +653,12 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
 /// printed on stdout and, with `--addr-file`, written to a file scripts can
 /// poll; `--requests K` exits cleanly after K responses (without it the
 /// server runs until killed).
+///
+/// `--writable` additionally accepts `update` / `commit` operations over
+/// an MVCC snapshot store: every commit is appended + fsynced to the
+/// write-ahead log (`--wal`, default `<store>.wal`) *before* it becomes
+/// visible, commits left in the log by a crash are replayed on startup,
+/// and a clean shutdown checkpoints the store and truncates the log.
 pub fn serve(args: &Args) -> Result<(), String> {
     let path = args.pos(0, "store path")?;
     let port: u16 = match args.flag_opt("port") {
@@ -685,6 +691,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
         None => None,
     };
     let ws = WsFile::open(Path::new(path))?;
+    let writable = args.flag_set("writable");
+    if writable {
+        check_writable(&ws, "serve --writable")?;
+    }
     let levels = ws.meta.levels.clone();
     let stats = ws.stats.clone();
     let (map, blocks) = ws.store.into_parts();
@@ -694,8 +704,40 @@ pub fn serve(args: &Args) -> Result<(), String> {
         batch_max,
         max_requests,
     };
-    let server = ss_serve::QueryServer::bind(&format!("127.0.0.1:{port}"), shared, levels, config)
+    let bind_addr = format!("127.0.0.1:{port}");
+    let (server, snapshot) = if writable {
+        let mode = match args.flag_opt("mode") {
+            Some(m) if !m.is_empty() => {
+                ss_maintain::FlushMode::parse(m).ok_or(format!("bad --mode: {m} (exact|merged)"))?
+            }
+            _ => ss_maintain::FlushMode::Exact,
+        };
+        let (shared, wal, replayed) = open_wal_and_replay(args, path, shared)?;
+        if replayed.commits > 0 {
+            println!(
+                "wal: replayed {} commits ({} tile images), resuming at epoch {}",
+                replayed.commits, replayed.tiles, replayed.last_epoch
+            );
+        }
+        let snap = std::sync::Arc::new(ss_maintain::SnapshotCoeffStore::new(
+            shared,
+            Some(wal),
+            replayed.last_epoch,
+        ));
+        let server = ss_serve::QueryServer::bind_writable(
+            &bind_addr,
+            std::sync::Arc::clone(&snap),
+            levels,
+            mode,
+            config,
+        )
         .map_err(|e| e.to_string())?;
+        (server, Some(snap))
+    } else {
+        let server = ss_serve::QueryServer::bind(&bind_addr, shared, levels, config)
+            .map_err(|e| e.to_string())?;
+        (server, None)
+    };
     let addr = server.local_addr();
     println!("serving queries on {addr}");
     // Scripts (and our tests) learn the ephemeral port from this line or
@@ -707,6 +749,87 @@ pub fn serve(args: &Args) -> Result<(), String> {
     }
     let served = server.join();
     println!("served {served} responses");
+    if let Some(snap) = snapshot {
+        // Clean shutdown: fold every published epoch into the store
+        // (flush + fsync) and truncate the WAL. Goes through the Arc —
+        // detached connection threads may still hold clones until their
+        // clients hang up. The executors are joined, so no pins remain
+        // and the checkpoint retry loop terminates.
+        while !snap.checkpoint().map_err(|e| e.to_string())? {
+            std::thread::yield_now();
+        }
+        println!("checkpointed store, wal truncated");
+    }
+    metrics::emit_quiet(args, Some(&stats))
+}
+
+/// What WAL recovery found on startup.
+struct ReplaySummary {
+    commits: usize,
+    tiles: u64,
+    last_epoch: u64,
+}
+
+/// Opens the `--wal` log (default `<store>.wal`) and replays any commits a
+/// crash left in it onto `shared`. Passes `shared` through because replay
+/// needs the store and the caller needs it back.
+fn open_wal_and_replay<M: TilingMap, S: ss_storage::BlockStore>(
+    args: &Args,
+    store_path: &str,
+    shared: ss_storage::SharedCoeffStore<M, S>,
+) -> Result<
+    (
+        ss_storage::SharedCoeffStore<M, S>,
+        ss_maintain::Wal,
+        ReplaySummary,
+    ),
+    String,
+> {
+    let wal_path = match args.flag_opt("wal") {
+        Some(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => std::path::PathBuf::from(format!("{store_path}.wal")),
+    };
+    let (wal, records, scan) = ss_maintain::Wal::open(&wal_path).map_err(|e| e.to_string())?;
+    if scan.torn_tail {
+        println!("wal: dropped torn tail (incomplete final append)");
+    }
+    let tiles = ss_maintain::replay_records(&records, &shared);
+    Ok((
+        shared,
+        wal,
+        ReplaySummary {
+            commits: records.len(),
+            tiles,
+            last_epoch: records.last().map(|r| r.epoch).unwrap_or(0),
+        },
+    ))
+}
+
+/// `wal-replay <store> [--wal FILE]`
+///
+/// Standalone crash recovery: replays every commit in the write-ahead log
+/// onto the store (overwriting tile post-images in commit order — exactly
+/// what a writable server does on startup), flushes and fsyncs the store,
+/// then truncates the log. Idempotent: replaying an already-recovered
+/// store rewrites the same bits, and an empty log is a no-op.
+pub fn wal_replay(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "store path")?;
+    let ws = WsFile::open(Path::new(path))?;
+    check_writable(&ws, "wal-replay")?;
+    let stats = ws.stats.clone();
+    let (map, blocks) = ws.store.into_parts();
+    let shared = ss_storage::SharedCoeffStore::new(map, blocks, 1 << 10, 4, stats.clone());
+    let (shared, mut wal, replayed) = open_wal_and_replay(args, path, shared)?;
+    if replayed.commits == 0 {
+        println!("wal is empty: nothing to replay");
+    } else {
+        shared.sync().map_err(|e| e.to_string())?;
+        wal.reset().map_err(|e| e.to_string())?;
+        println!(
+            "replayed {} commits ({} tile images) up to epoch {}; store synced, wal truncated",
+            replayed.commits, replayed.tiles, replayed.last_epoch
+        );
+    }
     metrics::emit_quiet(args, Some(&stats))
 }
 

@@ -56,10 +56,17 @@ COMMANDS:
   asksyn  <F> --at …|--lo …--hi …  approximate queries from a synopsis
   stream  --data FILE --k K        best-K synopsis of a value stream
   serve   <store> [--port N] [--workers W] [--batch B] [--requests K]
-          [--addr-file F]        serve point/sum queries over TCP
+          [--addr-file F] [--writable [--wal F] [--mode exact|merged]]
+          serve point/sum queries over TCP
           (line-delimited JSON; workers batch concurrent requests
           tile-major so hot tiles are fetched once; --requests K exits
-          after K responses; --port 0 picks an ephemeral port)
+          after K responses; --port 0 picks an ephemeral port;
+          --writable also accepts update/commit operations: commits are
+          fsynced to the write-ahead log before they become visible,
+          crash-left commits replay on startup, and a clean shutdown
+          checkpoints the store and truncates the log)
+  wal-replay <store> [--wal F]   replay crash-left commits from the
+          write-ahead log onto the store, sync it, truncate the log
   query   <addr> (--at i,j,… | --lo … --hi …) [--out F]
           one-shot client for a running serve instance
   serve-metrics --port N [--requests K] [store]   expose the metrics registry
@@ -127,6 +134,7 @@ fn run(raw: &[String]) -> Result<(), CmdError> {
         "asksyn" => commands::query_synopsis(&args),
         "stream" => commands::stream(&args),
         "serve" => commands::serve(&args),
+        "wal-replay" => commands::wal_replay(&args),
         "query" => commands::query(&args),
         "serve-metrics" => commands::serve_metrics(&args),
         "demo" => demo(),
@@ -154,6 +162,7 @@ fn command_slug(command: &str) -> &'static str {
         "asksyn" => "asksyn",
         "stream" => "stream",
         "serve" => "serve",
+        "wal-replay" => "wal_replay",
         "query" => "query",
         "serve-metrics" => "serve_metrics",
         "demo" => "demo",
@@ -546,6 +555,99 @@ mod tests {
         assert_eq!(got.to_bits(), want.to_bits(), "range sum");
         // The budget is now spent: the serve command returns Ok on its own.
         server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writable_serve_commits_durably_and_wal_replay_recovers_a_crash() {
+        let dir = tmp_dir("writable_serve");
+        let store = dir.join("s.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&[
+            "create", &store_s, "--levels", "4,4", "--tiles", "2,2",
+        ]))
+        .unwrap();
+        let wal = dir.join("s.wal");
+        let wal_s = wal.to_str().unwrap().to_string();
+        let addr_file = dir.join("addr.txt");
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+
+        // Budget of 4: point, update, commit, point.
+        let serve_store = store_s.clone();
+        let serve_wal = wal_s.clone();
+        let server = std::thread::spawn(move || {
+            run(&to_args(&[
+                "serve",
+                &serve_store,
+                "--writable",
+                "--wal",
+                &serve_wal,
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--requests",
+                "4",
+                "--addr-file",
+                &addr_file_s,
+            ]))
+        });
+        let addr = loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(a) if !a.is_empty() => break a,
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        let mut client = ss_serve::Client::connect(addr.trim()).unwrap();
+        assert_eq!(client.point(&[2, 3]).unwrap(), 0.0); // fresh store
+        client.update(&[2, 3], &[1, 2], &[4.5, -1.25]).unwrap();
+        assert_eq!(client.commit().unwrap(), 1.0);
+        assert_eq!(client.point(&[2, 3]).unwrap(), 4.5); // read-your-writes
+        server.join().unwrap().unwrap();
+        // Clean shutdown checkpointed the commit into the store file and
+        // truncated the WAL to its 8-byte magic.
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), 8);
+        let mut ws = crate::wsfile::WsFile::open(&store).unwrap();
+        let a = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[2, 3]);
+        let b = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[2, 4]);
+        assert!((a - 4.5).abs() < 1e-9, "{a}");
+        assert!((b + 1.25).abs() < 1e-9, "{b}");
+        drop(ws);
+
+        // Crash scenario: commit an epoch through the snapshot store and
+        // drop it with no checkpoint — the commit exists only in the WAL.
+        {
+            let ws = crate::wsfile::WsFile::open(&store).unwrap();
+            let stats = ws.stats.clone();
+            let levels = ws.meta.levels.clone();
+            use ss_core::TilingMap as _;
+            let (map, blocks) = ws.store.into_parts();
+            let shared = ss_storage::SharedCoeffStore::new(map, blocks, 64, 2, stats);
+            let (w, recs, _) = ss_maintain::Wal::open(&wal).unwrap();
+            assert!(recs.is_empty());
+            let snap = ss_maintain::SnapshotCoeffStore::new(shared, Some(w), 1);
+            let mut buf =
+                ss_maintain::DeltaBuffer::new(snap.map().block_capacity(), Default::default());
+            buf.begin_box();
+            let delta = ss_array::NdArray::from_vec(ss_array::Shape::new(&[1, 1]), vec![2.0]);
+            ss_transform::for_each_box_delta_standard(&levels, &[7, 7], &delta, |idx, d| {
+                buf.add_at(snap.map(), idx, d);
+            });
+            snap.commit(&mut buf).unwrap();
+        } // dropped without checkpoint = crash after the WAL fsync
+        let mut ws = crate::wsfile::WsFile::open(&store).unwrap();
+        let lost = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[7, 7]);
+        assert!(lost.abs() < 1e-9, "commit must not be in the store yet");
+        drop(ws);
+
+        run(&to_args(&["wal-replay", &store_s, "--wal", &wal_s])).unwrap();
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), 8);
+        let mut ws = crate::wsfile::WsFile::open(&store).unwrap();
+        let got = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[7, 7]);
+        assert!((got - 2.0).abs() < 1e-9, "{got}");
+        // Earlier folded state is untouched by the replay.
+        let a = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[2, 3]);
+        assert!((a - 4.5).abs() < 1e-9, "{a}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

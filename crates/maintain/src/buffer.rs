@@ -22,12 +22,14 @@ pub enum FlushMode {
 }
 
 impl FlushMode {
-    /// Parses the CLI spelling (`exact` / `merged`).
+    /// Parses the CLI spelling (`exact` / `merged`), case-insensitively.
     pub fn parse(s: &str) -> Option<FlushMode> {
-        match s {
-            "exact" => Some(FlushMode::Exact),
-            "merged" => Some(FlushMode::Merged),
-            _ => None,
+        if s.eq_ignore_ascii_case("exact") {
+            Some(FlushMode::Exact)
+        } else if s.eq_ignore_ascii_case("merged") {
+            Some(FlushMode::Merged)
+        } else {
+            None
         }
     }
 }
@@ -100,6 +102,9 @@ pub struct DeltaBuffer {
     tiles: HashMap<usize, TileBuf>,
     /// Monotonic operation counter; bumped by `begin_box`.
     box_seq: u64,
+    /// True when a delta arrived before the first `begin_box` — that run
+    /// of deltas is one implicit operation, counted alongside `box_seq`.
+    implicit_box: bool,
     deltas: u64,
     tile_touches: u64,
 }
@@ -113,6 +118,7 @@ impl DeltaBuffer {
             block_capacity,
             tiles: HashMap::new(),
             box_seq: 0,
+            implicit_box: false,
             deltas: 0,
             tile_touches: 0,
         }
@@ -138,6 +144,9 @@ impl DeltaBuffer {
     /// Buffers one coefficient delta.
     pub fn add(&mut self, tile: usize, slot: usize, delta: f64) {
         debug_assert!(slot < self.block_capacity);
+        if self.box_seq == 0 {
+            self.implicit_box = true;
+        }
         let buf = self.tiles.entry(tile).or_insert_with(|| TileBuf {
             stamp: u64::MAX,
             data: match self.mode {
@@ -185,9 +194,9 @@ impl DeltaBuffer {
     /// Drains the buffer into sorted `(tile, ops)` pairs, resetting it.
     /// Merged accumulators are lowered to slot-ascending op lists here so
     /// both flush paths share the apply code.
-    fn drain_sorted(&mut self) -> (Vec<TileOps>, FlushReport) {
+    pub(crate) fn drain_sorted(&mut self) -> (Vec<TileOps>, FlushReport) {
         let report = FlushReport {
-            boxes: self.box_seq.max(u64::from(self.deltas > 0)),
+            boxes: self.box_seq + u64::from(self.implicit_box),
             deltas: self.deltas,
             tiles_written: self.tiles.len() as u64,
             tile_touches: self.tile_touches,
@@ -210,6 +219,7 @@ impl DeltaBuffer {
             .collect();
         entries.sort_unstable_by_key(|&(tile, _)| tile);
         self.box_seq = 0;
+        self.implicit_box = false;
         self.deltas = 0;
         self.tile_touches = 0;
         (entries, report)
@@ -223,6 +233,11 @@ impl DeltaBuffer {
     ) -> FlushReport {
         let mut sw = Stopwatch::start();
         let (entries, report) = self.drain_sorted();
+        if entries.is_empty() {
+            // Nothing drained: no tile writes, no durability flush, no
+            // flush metrics — a no-op commit must not charge a flush.
+            return report;
+        }
         let stats = cs.stats().clone();
         let deltas_per_tile = ss_obs::global().histogram("maintain.deltas_per_tile");
         for (tile, ops) in &entries {
@@ -252,6 +267,9 @@ impl DeltaBuffer {
         let workers = workers.max(1);
         let mut sw = Stopwatch::start();
         let (entries, report) = self.drain_sorted();
+        if entries.is_empty() {
+            return report;
+        }
         let deltas_per_tile = ss_obs::global().histogram("maintain.deltas_per_tile");
         for (_, ops) in &entries {
             deltas_per_tile.record(ops.len() as u64);
@@ -441,11 +459,28 @@ mod tests {
     #[test]
     fn empty_flush_is_a_noop() {
         let m = map();
-        let mut cs = mem_store(m.clone(), 8, IoStats::default());
+        let stats = IoStats::default();
+        let mut cs = mem_store(m.clone(), 8, stats.clone());
         let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        let flushes_before = ss_obs::global().counter("maintain.flushes").get();
         let report = buf.flush_into(&mut cs);
         assert_eq!(report, FlushReport::default());
         assert_eq!(report.coalescing_ratio(), 1.0);
+        // An empty drain must not charge a durability flush or emit flush
+        // metrics: no block writes, `maintain.flushes` unchanged.
+        assert_eq!(
+            ss_obs::global().counter("maintain.flushes").get(),
+            flushes_before
+        );
+        assert_eq!(stats.snapshot().block_writes, 0);
+        // Same for the shared path.
+        let shared = mem_shared_store(m.clone(), 8, 4, IoStats::default());
+        let report = buf.flush_into_shared(&shared, 4);
+        assert_eq!(report, FlushReport::default());
+        assert_eq!(
+            ss_obs::global().counter("maintain.flushes").get(),
+            flushes_before
+        );
     }
 
     #[test]
@@ -456,5 +491,31 @@ mod tests {
         let mut cs = mem_store(m, 8, IoStats::default());
         let report = buf.flush_into(&mut cs);
         assert_eq!(report.boxes, 1);
+    }
+
+    #[test]
+    fn implicit_box_followed_by_explicit_boxes_counts_both() {
+        // Regression: deltas before the first begin_box are one implicit
+        // operation; tile_touches counted it but `boxes` did not, which
+        // inflated the coalescing ratio.
+        let m = map();
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Exact);
+        buf.add(0, 0, 1.0); // implicit first operation
+        buf.begin_box();
+        buf.add(0, 1, 2.0); // explicit second operation, same tile
+        let mut cs = mem_store(m, 8, IoStats::default());
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report.boxes, 2);
+        assert_eq!(report.tile_touches, 2);
+        assert_eq!(report.tiles_written, 1);
+        assert_eq!(report.coalescing_ratio(), 2.0);
+    }
+
+    #[test]
+    fn flush_mode_parse_is_case_insensitive() {
+        assert_eq!(FlushMode::parse("exact"), Some(FlushMode::Exact));
+        assert_eq!(FlushMode::parse("Exact"), Some(FlushMode::Exact));
+        assert_eq!(FlushMode::parse("MERGED"), Some(FlushMode::Merged));
+        assert_eq!(FlushMode::parse("bogus"), None);
     }
 }

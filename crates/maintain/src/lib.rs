@@ -44,13 +44,29 @@
 //!
 //! Observability: flushes publish `maintain.*` counters, gauges, and
 //! histograms to the global [`ss_obs`] registry (boxes and deltas
-//! buffered, dirty/written tiles, coalescing ratio, flush latency).
+//! buffered, dirty/written tiles, coalescing ratio, flush latency);
+//! live serving adds `snapshot.*` (epoch, pins, commits, folds, live
+//! versions) and `wal.*` (appends, bytes, resets, torn tails, replays).
+//!
+//! # Live read/write serving
+//!
+//! Batch maintenance assumes exclusive ownership of the store. For
+//! serving queries *while* absorbing updates, [`snapshot`] layers MVCC on
+//! top of the same buffer: [`SnapshotCoeffStore`] publishes immutable
+//! epoch versions (readers pin one, writers group-commit the next), and
+//! [`wal`] makes each commit durable ahead of the tile writeback with a
+//! CRC-framed write-ahead log whose records replay to a bit-identical
+//! state after a crash (format: `docs/FORMAT.md` §7).
 
 pub mod buffer;
 pub mod engine;
+pub mod snapshot;
+pub mod wal;
 
 pub use buffer::{DeltaBuffer, FlushMode, FlushReport};
 pub use engine::{
     transform_standard_coalesced, update_boxes_nonstandard, update_boxes_nonstandard_parallel,
     update_boxes_standard, update_boxes_standard_parallel, BatchReport, IngestReport,
 };
+pub use snapshot::{PinnedSnapshot, SnapshotCoeffStore};
+pub use wal::{replay_records, Wal, WalRecord, WalScan, WalTile};

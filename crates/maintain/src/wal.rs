@@ -1,0 +1,417 @@
+//! Write-ahead delta log for group-commit maintenance.
+//!
+//! Before a commit's drained `(tile, ops)` stream touches the base store,
+//! it is appended here as one CRC-framed record carrying both the logical
+//! op list *and* the committed post-image of every dirty tile. The
+//! post-images are what make replay idempotent: a `+=` delta replayed
+//! twice corrupts, an overwrite replayed twice is a no-op, so a crash at
+//! *any* point between the WAL fsync and the (much later) fold of tiles
+//! into the base store replays to a bit-identical coefficient state. The
+//! framing is normative in `docs/FORMAT.md` §7; the commit protocol and
+//! crash matrix are in `DESIGN.md` §12.
+//!
+//! The log is an append-only file:
+//!
+//! ```text
+//! magic "SSWSWAL1" (8 bytes)
+//! record*          (length/CRC framed, see below)
+//! ```
+//!
+//! A torn tail — a record cut short or failing its CRC — marks the crash
+//! point: every record before it is intact (each fsynced before the
+//! commit was acknowledged), everything from it on is discarded on open.
+//! After a checkpoint folds all published epochs into the base store and
+//! syncs it, the log is truncated back to the magic.
+
+use ss_storage::crc::crc32;
+use ss_storage::{BlockStore, SharedCoeffStore, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic, 8 bytes.
+pub const WAL_MAGIC: &[u8; 8] = b"SSWSWAL1";
+
+/// One committed epoch's dirty tiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// The epoch this commit published.
+    pub epoch: u64,
+    /// Dirty tiles, ascending by ordinal.
+    pub tiles: Vec<WalTile>,
+}
+
+/// One dirty tile within a [`WalRecord`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalTile {
+    /// Tile ordinal.
+    pub tile: usize,
+    /// The drained `(slot, delta)` op list — the logical audit stream.
+    pub ops: Vec<(usize, f64)>,
+    /// The tile's full contents *after* this epoch — the physical redo
+    /// image replay overwrites with.
+    pub image: Vec<f64>,
+}
+
+/// Outcome of scanning a log on open.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalScan {
+    /// Intact records recovered.
+    pub records: usize,
+    /// Whether a torn tail (short or CRC-failing record) was discarded.
+    pub torn_tail: bool,
+}
+
+/// An append-only, CRC-framed write-ahead log.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Byte offset of the end of the last intact record.
+    end: u64,
+    /// Epoch of the last record appended or recovered (0 when none).
+    last_epoch: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, scanning it for
+    /// intact records. A torn tail is truncated away. Returns the log
+    /// positioned for appending plus every recovered record in commit
+    /// order — the caller replays them before serving.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>, WalScan), StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::io(format!("open WAL {}", path.display()), e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat WAL", e))?
+            .len();
+        if len < WAL_MAGIC.len() as u64 {
+            // Fresh (or torn-at-birth) log: write the magic.
+            file.set_len(0)
+                .and_then(|_| file.seek(SeekFrom::Start(0)))
+                .and_then(|_| file.write_all(WAL_MAGIC))
+                .and_then(|_| file.sync_data())
+                .map_err(|e| StorageError::io("initialise WAL", e))?;
+            let wal = Wal {
+                file,
+                path: path.to_path_buf(),
+                end: WAL_MAGIC.len() as u64,
+                last_epoch: 0,
+            };
+            return Ok((wal, Vec::new(), WalScan::default()));
+        }
+        let mut magic = [0u8; 8];
+        file.seek(SeekFrom::Start(0))
+            .and_then(|_| file.read_exact(&mut magic))
+            .map_err(|e| StorageError::io("read WAL magic", e))?;
+        if &magic != WAL_MAGIC {
+            return Err(StorageError::Meta(format!(
+                "{}: not a WAL (bad magic)",
+                path.display()
+            )));
+        }
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StorageError::io("read WAL body", e))?;
+        let (records, intact_len, torn) = scan_records(&bytes);
+        let end = WAL_MAGIC.len() as u64 + intact_len as u64;
+        if torn {
+            file.set_len(end)
+                .map_err(|e| StorageError::io("truncate torn WAL tail", e))?;
+            ss_obs::global().counter("wal.torn_tails").inc();
+        }
+        file.seek(SeekFrom::Start(end))
+            .map_err(|e| StorageError::io("seek WAL end", e))?;
+        let scan = WalScan {
+            records: records.len(),
+            torn_tail: torn,
+        };
+        ss_obs::global()
+            .counter("wal.records_recovered")
+            .add(records.len() as u64);
+        let last_epoch = records.last().map_or(0, |r| r.epoch);
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            end,
+            last_epoch,
+        };
+        Ok((wal, records, scan))
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Epoch of the newest durable record (0 when the log is empty).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Appends one record and fsyncs. When this returns, the commit is
+    /// durable: any crash after this point replays it.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        let mut sw = ss_obs::Stopwatch::start();
+        let body = encode_body(record);
+        let mut framed = Vec::with_capacity(body.len() + 8);
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&body).to_le_bytes());
+        framed.extend_from_slice(&body);
+        self.file
+            .seek(SeekFrom::Start(self.end))
+            .and_then(|_| self.file.write_all(&framed))
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| StorageError::io("append WAL record", e))?;
+        self.end += framed.len() as u64;
+        self.last_epoch = record.epoch;
+        let g = ss_obs::global();
+        g.counter("wal.appends").inc();
+        g.counter("wal.bytes_appended").add(framed.len() as u64);
+        g.histogram("wal.append_ns").record(sw.lap_ns());
+        Ok(())
+    }
+
+    /// Truncates the log back to the magic — called after a checkpoint
+    /// has folded every logged epoch into the base store *and* synced it.
+    pub fn reset(&mut self) -> Result<(), StorageError> {
+        let end = WAL_MAGIC.len() as u64;
+        self.file
+            .set_len(end)
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| StorageError::io("reset WAL", e))?;
+        self.file
+            .seek(SeekFrom::Start(end))
+            .map_err(|e| StorageError::io("seek WAL start", e))?;
+        self.end = end;
+        ss_obs::global().counter("wal.resets").inc();
+        Ok(())
+    }
+}
+
+/// Serialises a record body (everything the frame's length/CRC cover).
+fn encode_body(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&record.epoch.to_le_bytes());
+    out.extend_from_slice(&(record.tiles.len() as u32).to_le_bytes());
+    for t in &record.tiles {
+        out.extend_from_slice(&(t.tile as u64).to_le_bytes());
+        out.extend_from_slice(&(t.ops.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(t.image.len() as u32).to_le_bytes());
+        for &(slot, delta) in &t.ops {
+            out.extend_from_slice(&(slot as u32).to_le_bytes());
+            out.extend_from_slice(&delta.to_le_bytes());
+        }
+        for &v in &t.image {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes one record body; `None` on any truncation or overflow (which
+/// the framing CRC should already have caught).
+fn decode_body(body: &[u8]) -> Option<WalRecord> {
+    let mut p = 0usize;
+    let take = |p: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = body.get(*p..*p + n)?;
+        *p += n;
+        Some(s)
+    };
+    let epoch = u64::from_le_bytes(take(&mut p, 8)?.try_into().ok()?);
+    let ntiles = u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize;
+    let mut tiles = Vec::with_capacity(ntiles.min(1 << 20));
+    for _ in 0..ntiles {
+        let tile = u64::from_le_bytes(take(&mut p, 8)?.try_into().ok()?) as usize;
+        let nops = u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize;
+        let cap = u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize;
+        let mut ops = Vec::with_capacity(nops.min(1 << 20));
+        for _ in 0..nops {
+            let slot = u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize;
+            let delta = f64::from_le_bytes(take(&mut p, 8)?.try_into().ok()?);
+            ops.push((slot, delta));
+        }
+        let mut image = Vec::with_capacity(cap.min(1 << 20));
+        for _ in 0..cap {
+            image.push(f64::from_le_bytes(take(&mut p, 8)?.try_into().ok()?));
+        }
+        tiles.push(WalTile { tile, ops, image });
+    }
+    if p == body.len() {
+        Some(WalRecord { epoch, tiles })
+    } else {
+        None
+    }
+}
+
+/// Walks the framed records in `bytes`, returning the intact prefix as
+/// decoded records, its byte length, and whether a torn tail follows.
+fn scan_records(bytes: &[u8]) -> (Vec<WalRecord>, usize, bool) {
+    let mut records = Vec::new();
+    let mut p = 0usize;
+    loop {
+        if p == bytes.len() {
+            return (records, p, false); // clean end
+        }
+        if bytes.len() - p < 8 {
+            return (records, p, true); // torn frame header
+        }
+        let len = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[p + 4..p + 8].try_into().unwrap());
+        if bytes.len() - p - 8 < len {
+            return (records, p, true); // torn body
+        }
+        let body = &bytes[p + 8..p + 8 + len];
+        if crc32(body) != crc {
+            return (records, p, true); // corrupt body
+        }
+        match decode_body(body) {
+            Some(rec) => records.push(rec),
+            None => return (records, p, true),
+        }
+        p += 8 + len;
+    }
+}
+
+/// Applies recovered records to a shared store: every tile post-image is
+/// overwritten in commit order, then the pool is flushed. Idempotent —
+/// replaying on top of an already partially (or fully) folded base store
+/// rewrites the same bits. Returns the number of tile overwrites.
+pub fn replay_records<M: ss_core::TilingMap, S: BlockStore>(
+    records: &[WalRecord],
+    cs: &SharedCoeffStore<M, S>,
+) -> u64 {
+    let mut tiles = 0u64;
+    for rec in records {
+        for t in &rec.tiles {
+            cs.overwrite_tile(t.tile, &t.image);
+            tiles += 1;
+        }
+    }
+    if tiles > 0 {
+        cs.flush();
+    }
+    ss_obs::global().counter("wal.tiles_replayed").add(tiles);
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::Tiling1d;
+    use ss_storage::{mem_shared_store, IoStats};
+
+    fn record(epoch: u64) -> WalRecord {
+        WalRecord {
+            epoch,
+            tiles: vec![
+                WalTile {
+                    tile: 0,
+                    ops: vec![(0, 1.5), (3, -2.0)],
+                    image: vec![1.5, 0.0, 0.0, -2.0],
+                },
+                WalTile {
+                    tile: 2,
+                    ops: vec![(1, epoch as f64)],
+                    image: vec![0.0, epoch as f64, 0.0, 0.0],
+                },
+            ],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ss_wal_{}_{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log.wal")
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, recs, scan) = Wal::open(&path).unwrap();
+        assert!(recs.is_empty());
+        assert!(!scan.torn_tail);
+        wal.append(&record(1)).unwrap();
+        wal.append(&record(2)).unwrap();
+        assert_eq!(wal.last_epoch(), 2);
+        drop(wal);
+        let (wal, recs, scan) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![record(1), record(2)]);
+        assert_eq!(scan.records, 2);
+        assert!(!scan.torn_tail);
+        assert_eq!(wal.last_epoch(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&record(1)).unwrap();
+        wal.append(&record(2)).unwrap();
+        drop(wal);
+        // Chop mid-way through the second record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 11).unwrap();
+        drop(f);
+        let (wal, recs, scan) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![record(1)]);
+        assert!(scan.torn_tail);
+        drop(wal);
+        // After truncation the log reopens clean.
+        let (_, recs, scan) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(!scan.torn_tail);
+    }
+
+    #[test]
+    fn corrupt_body_stops_the_scan() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&record(1)).unwrap();
+        let end = wal.end;
+        wal.append(&record(2)).unwrap();
+        drop(wal);
+        // Flip a byte inside the second record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = end as usize + 12;
+        bytes[victim] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, recs, scan) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![record(1)]);
+        assert!(scan.torn_tail);
+    }
+
+    #[test]
+    fn reset_truncates_to_magic() {
+        let path = tmp("reset");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&record(7)).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 8);
+        wal.append(&record(8)).unwrap();
+        drop(wal);
+        let (_, recs, _) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![record(8)]);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let cs = mem_shared_store(Tiling1d::new(4, 2), 8, 2, IoStats::new());
+        let recs = vec![record(1), record(2)];
+        replay_records(&recs, &cs);
+        let once: Vec<f64> = (0..4).map(|s| cs.pool().read(2, s)).collect();
+        replay_records(&recs, &cs);
+        let twice: Vec<f64> = (0..4).map(|s| cs.pool().read(2, s)).collect();
+        assert_eq!(once, twice);
+        assert_eq!(cs.pool().read(2, 1), 2.0); // last record wins
+    }
+}

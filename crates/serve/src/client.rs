@@ -5,7 +5,7 @@
 //! requests by id (the server batches across connections, so responses may
 //! return out of order).
 
-use crate::proto::{self, Query};
+use crate::proto::{self, Mutation, Op, Query};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -71,11 +71,39 @@ impl Client {
         })
     }
 
+    /// Buffers a box of deltas on a writable server: `at` is the lower
+    /// corner, `dims` the per-axis extents, `data` the box in row-major
+    /// order. Returns the number of coefficient deltas buffered. The
+    /// deltas stay invisible to queries until [`commit`](Client::commit).
+    pub fn update(
+        &mut self,
+        at: &[usize],
+        dims: &[usize],
+        data: &[f64],
+    ) -> Result<f64, ClientError> {
+        self.one_op(Op::Mutation(Mutation::Update {
+            at: at.to_vec(),
+            dims: dims.to_vec(),
+            data: data.to_vec(),
+        }))
+    }
+
+    /// Group-commits every buffered update as the next epoch on a
+    /// writable server; returns the published epoch. Queries issued after
+    /// this returns see the committed data (read-your-writes).
+    pub fn commit(&mut self) -> Result<f64, ClientError> {
+        self.one_op(Op::Mutation(Mutation::Commit))
+    }
+
     fn one(&mut self, q: Query) -> Result<f64, ClientError> {
-        let mut answers = self.run(&[q])?;
+        self.one_op(Op::Query(q))
+    }
+
+    fn one_op(&mut self, op: Op) -> Result<f64, ClientError> {
+        let mut answers = self.run_ops(&[op])?;
         answers
             .pop()
-            .expect("one answer per query")
+            .expect("one answer per operation")
             .map_err(|(kind, msg)| ClientError::Protocol(format!("server error {kind}: {msg}")))
     }
 
@@ -87,13 +115,26 @@ impl Client {
         &mut self,
         queries: &[Query],
     ) -> Result<Vec<Result<f64, (String, String)>>, ClientError> {
+        let ops: Vec<Op> = queries.iter().cloned().map(Op::Query).collect();
+        self.run_ops(&ops)
+    }
+
+    /// Pipelines arbitrary operations (queries and mutations) and returns
+    /// one result per operation, in request order. Note that the *server*
+    /// answers mutations in connection order but may answer interleaved
+    /// queries out of order; results are matched back by id here.
+    #[allow(clippy::type_complexity)]
+    pub fn run_ops(
+        &mut self,
+        queries: &[Op],
+    ) -> Result<Vec<Result<f64, (String, String)>>, ClientError> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
         let first_id = self.next_id;
         let mut lines = String::new();
         for (k, q) in queries.iter().enumerate() {
-            lines.push_str(&proto::request_line(first_id + k as i128, q));
+            lines.push_str(&proto::op_request_line(first_id + k as i128, q));
             lines.push('\n');
         }
         self.next_id += queries.len() as i128;

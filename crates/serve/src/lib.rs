@@ -17,6 +17,14 @@
 //! bit-identical to serial execution: the evaluation order is fixed by the
 //! plans alone, and the wire format round-trips `f64` exactly.
 //!
+//! Live read/write serving: [`QueryServer::bind_writable`] runs the same
+//! protocol over an epoch-versioned
+//! [`SnapshotCoeffStore`](ss_maintain::SnapshotCoeffStore), adding
+//! `update` (buffer box deltas) and `commit` (group-commit the next
+//! epoch) operations. Each query batch pins one snapshot, so queries
+//! never see a partially applied epoch, and a commit's effects are
+//! visible to every query issued after its response (read-your-writes).
+//!
 //! * [`proto`] — the wire protocol: requests, typed error responses,
 //!   exact float formatting,
 //! * [`server`] — [`QueryServer`]: acceptor, per-connection reader
@@ -32,7 +40,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use proto::Query;
+pub use proto::{Mutation, Op, Query};
 pub use server::{QueryServer, ServeConfig};
 
 #[cfg(test)]
@@ -41,6 +49,7 @@ mod tests {
     use ss_array::{MultiIndexIter, NdArray, Shape};
     use ss_core::tiling::StandardTiling;
     use ss_storage::{mem_shared_store, wstore::mem_store, IoStats, SharedCoeffStore};
+    use std::sync::Arc;
 
     fn test_data(side: usize) -> NdArray<f64> {
         NdArray::from_fn(Shape::cube(2, side), |idx| {
@@ -164,6 +173,73 @@ mod tests {
         // The connection still answers a valid query afterwards.
         let ok = ask(r#"{"id":5,"op":"point","pos":[3,9]}"#);
         assert!(ok.contains(r#""ok":true"#), "{ok}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn writable_server_round_trips_updates_and_commits() {
+        use ss_maintain::SnapshotCoeffStore;
+        let a = test_data(32);
+        let store = Arc::new(SnapshotCoeffStore::new(shared_store(&a, 5), None, 0));
+        let server = QueryServer::bind_writable(
+            "127.0.0.1:0",
+            Arc::clone(&store),
+            vec![5, 5],
+            ss_maintain::FlushMode::Exact,
+            ServeConfig {
+                workers: 3,
+                batch_max: 16,
+                max_requests: None,
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let before = client.point(&[4, 5]).unwrap();
+        assert!((before - a.get(&[4, 5])).abs() < 1e-9);
+
+        // Buffered but uncommitted: invisible to queries.
+        let deltas = client
+            .update(&[4, 5], &[2, 2], &[10.0, 0.0, 0.0, -3.0])
+            .unwrap();
+        assert!(deltas > 0.0);
+        assert_eq!(client.point(&[4, 5]).unwrap().to_bits(), before.to_bits());
+
+        // Commit publishes epoch 1; read-your-writes from here on.
+        assert_eq!(client.commit().unwrap(), 1.0);
+        assert!((client.point(&[4, 5]).unwrap() - (a.get(&[4, 5]) + 10.0)).abs() < 1e-9);
+        assert!((client.point(&[5, 6]).unwrap() - (a.get(&[5, 6]) - 3.0)).abs() < 1e-9);
+        assert!((client.point(&[4, 6]).unwrap() - a.get(&[4, 6])).abs() < 1e-9);
+        // A range sum spanning the box sees the committed mass too.
+        let sum_before: f64 = (0..32)
+            .flat_map(|x| (0..32).map(move |y| (x, y)))
+            .map(|(x, y)| a.get(&[x, y]))
+            .sum();
+        let got = client.range_sum(&[0, 0], &[31, 31]).unwrap();
+        assert!((got - (sum_before + 7.0)).abs() < 1e-6, "{got}");
+
+        // An empty commit is a no-op that re-answers the current epoch.
+        assert_eq!(client.commit().unwrap(), 1.0);
+
+        // Mutations are validated like queries.
+        let err = client.update(&[31, 31], &[2, 2], &[1.0; 4]).unwrap_err();
+        assert!(err.to_string().contains("bad_request"), "{err}");
+        server.shutdown();
+        drop(client);
+        let store = Arc::into_inner(store).expect("server dropped its handle");
+        let (_map, _store) = store.into_parts().unwrap();
+    }
+
+    #[test]
+    fn read_only_server_rejects_mutations_with_a_typed_error() {
+        let a = test_data(32);
+        let server = bind(shared_store(&a, 5));
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let err = client.update(&[0, 0], &[1, 1], &[1.0]).unwrap_err();
+        assert!(err.to_string().contains("read_only"), "{err}");
+        let err = client.commit().unwrap_err();
+        assert!(err.to_string().contains("read_only"), "{err}");
+        // The connection still serves queries afterwards.
+        assert!((client.point(&[3, 9]).unwrap() - a.get(&[3, 9])).abs() < 1e-9);
         server.shutdown();
     }
 

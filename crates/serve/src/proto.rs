@@ -20,9 +20,27 @@
 //!
 //! `value` uses the exact shortest-roundtrip `f64` formatting of
 //! [`ss_obs::json`], so the served answer equals the serial in-process
-//! answer bit for bit. Error kinds are closed: `parse` (not a JSON object),
-//! `unknown_op` (unrecognised `op`), `bad_request` (wrong arity or
-//! out-of-range coordinates).
+//! answer bit for bit.
+//!
+//! A **writable** server additionally accepts mutations:
+//!
+//! ```json
+//! {"id": 9, "op": "update", "at": [2, 4], "dims": [2, 2], "data": [1.0, 0.0, 0.5, -1.0]}
+//! {"id": 10, "op": "commit"}
+//! ```
+//!
+//! `update` buffers one box of data-domain deltas (`data` is the box in
+//! row-major order, `dims` its per-axis extents, `at` its lower corner);
+//! its `value` answers with the number of coefficient deltas buffered.
+//! `commit` group-commits everything buffered so far as the next epoch
+//! and answers with the published epoch number. Buffered-but-uncommitted
+//! updates are invisible to queries; from the commit response onward
+//! every new query sees them (read-your-writes at epoch granularity).
+//!
+//! Error kinds are closed: `parse` (not a JSON object), `unknown_op`
+//! (unrecognised `op`), `bad_request` (wrong arity or out-of-range
+//! coordinates), `read_only` (mutation sent to a read-only server), `io`
+//! (a commit failed to reach the write-ahead log).
 
 use ss_obs::json::{self, Value};
 
@@ -96,13 +114,74 @@ impl Query {
     }
 }
 
-/// A parsed request: optional client-chosen id plus the query.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A mutation accepted by a writable server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mutation {
+    /// Buffer one box of data-domain deltas.
+    Update {
+        /// Lower corner of the box, one coordinate per axis.
+        at: Vec<usize>,
+        /// Per-axis extents of the box.
+        dims: Vec<usize>,
+        /// Row-major box contents (`dims` product values).
+        data: Vec<f64>,
+    },
+    /// Group-commit everything buffered so far as the next epoch.
+    Commit,
+}
+
+impl Mutation {
+    /// Checks arity, bounds and data length against the domain `dims`.
+    pub fn validate(&self, domain: &[usize]) -> Result<(), String> {
+        match self {
+            Mutation::Commit => Ok(()),
+            Mutation::Update { at, dims, data } => {
+                if at.len() != domain.len() || dims.len() != domain.len() {
+                    return Err(format!(
+                        "at/dims have {}/{} axes, domain has {}",
+                        at.len(),
+                        dims.len(),
+                        domain.len()
+                    ));
+                }
+                let mut cells = 1usize;
+                for (t, ((&o, &e), &d)) in at.iter().zip(dims).zip(domain).enumerate() {
+                    if e == 0 {
+                        return Err(format!("dims[{t}] must be at least 1"));
+                    }
+                    if o + e > d {
+                        return Err(format!(
+                            "box [{o}, {}] exceeds axis {t} (size {d})",
+                            o + e - 1
+                        ));
+                    }
+                    cells = cells.saturating_mul(e);
+                }
+                if data.len() != cells {
+                    return Err(format!("data has {} values, box needs {cells}", data.len()));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What a request line asks for: a read or a mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// A read-only query (every server accepts these).
+    Query(Query),
+    /// A mutation (writable servers only).
+    Mutation(Mutation),
+}
+
+/// A parsed request: optional client-chosen id plus the operation.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Request {
     /// Echoed verbatim in the response when present.
     pub id: Option<i128>,
-    /// The query itself.
-    pub query: Query,
+    /// The requested operation.
+    pub op: Op,
 }
 
 /// Why a request line was rejected, with the id (when one could still be
@@ -140,6 +219,16 @@ fn usize_array(v: &Value, name: &str) -> Result<Vec<usize>, String> {
         .map_err(|()| format!("{name} must contain non-negative integers"))
 }
 
+fn f64_array(v: &Value, name: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("{name} must be an array"))?;
+    arr.iter()
+        .map(|e| e.as_f64().ok_or(()))
+        .collect::<Result<Vec<f64>, ()>>()
+        .map_err(|()| format!("{name} must contain numbers"))
+}
+
 /// Parses one request line. Validation against the domain happens
 /// separately via [`Query::validate`].
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
@@ -171,21 +260,34 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             .ok_or_else(|| RequestError::new(id, "bad_request", format!("missing field {name}")))?;
         usize_array(raw, name).map_err(|m| RequestError::new(id, "bad_request", m))
     };
-    let query = match op {
-        "point" => Query::Point { pos: field("pos")? },
-        "range_sum" => Query::RangeSum {
+    let op = match op {
+        "point" => Op::Query(Query::Point { pos: field("pos")? }),
+        "range_sum" => Op::Query(Query::RangeSum {
             lo: field("lo")?,
             hi: field("hi")?,
-        },
+        }),
+        "update" => {
+            let raw = v
+                .get("data")
+                .ok_or_else(|| RequestError::new(id, "bad_request", "missing field data"))?;
+            let data =
+                f64_array(raw, "data").map_err(|m| RequestError::new(id, "bad_request", m))?;
+            Op::Mutation(Mutation::Update {
+                at: field("at")?,
+                dims: field("dims")?,
+                data,
+            })
+        }
+        "commit" => Op::Mutation(Mutation::Commit),
         other => {
             return Err(RequestError::new(
                 id,
                 "unknown_op",
-                format!("unknown op {other:?} (expected point or range_sum)"),
+                format!("unknown op {other:?} (expected point, range_sum, update, or commit)"),
             ));
         }
     };
-    Ok(Request { id, query })
+    Ok(Request { id, op })
 }
 
 fn id_value(id: Option<i128>) -> Value {
@@ -197,17 +299,36 @@ fn id_value(id: Option<i128>) -> Value {
 
 /// Renders a request line for `query` with id `id` (the client side).
 pub fn request_line(id: i128, query: &Query) -> String {
+    op_request_line(id, &Op::Query(query.clone()))
+}
+
+/// Renders a request line for any operation with id `id` (the client side).
+pub fn op_request_line(id: i128, op: &Op) -> String {
+    let name = match op {
+        Op::Query(q) => q.op(),
+        Op::Mutation(Mutation::Update { .. }) => "update",
+        Op::Mutation(Mutation::Commit) => "commit",
+    };
     let mut pairs = vec![
         ("id".to_string(), Value::Int(id)),
-        ("op".to_string(), Value::from(query.op())),
+        ("op".to_string(), Value::from(name)),
     ];
     let arr = |v: &[usize]| Value::Array(v.iter().map(|&x| Value::from(x)).collect());
-    match query {
-        Query::Point { pos } => pairs.push(("pos".into(), arr(pos))),
-        Query::RangeSum { lo, hi } => {
+    match op {
+        Op::Query(Query::Point { pos }) => pairs.push(("pos".into(), arr(pos))),
+        Op::Query(Query::RangeSum { lo, hi }) => {
             pairs.push(("lo".into(), arr(lo)));
             pairs.push(("hi".into(), arr(hi)));
         }
+        Op::Mutation(Mutation::Update { at, dims, data }) => {
+            pairs.push(("at".into(), arr(at)));
+            pairs.push(("dims".into(), arr(dims)));
+            pairs.push((
+                "data".into(),
+                Value::Array(data.iter().map(|&x| Value::Float(x)).collect()),
+            ));
+        }
+        Op::Mutation(Mutation::Commit) => {}
     }
     Value::Object(pairs).to_string()
 }
@@ -296,8 +417,55 @@ mod tests {
             let line = request_line(42, &q);
             let back = parse_request(&line).unwrap();
             assert_eq!(back.id, Some(42));
-            assert_eq!(back.query, q);
+            assert_eq!(back.op, Op::Query(q));
         }
+    }
+
+    #[test]
+    fn mutation_round_trip() {
+        for m in [
+            Mutation::Update {
+                at: vec![2, 4],
+                dims: vec![2, 2],
+                data: vec![1.0, 0.0, 0.5, -1.0],
+            },
+            Mutation::Commit,
+        ] {
+            let line = op_request_line(9, &Op::Mutation(m.clone()));
+            let back = parse_request(&line).unwrap();
+            assert_eq!(back.id, Some(9));
+            assert_eq!(back.op, Op::Mutation(m));
+        }
+        // Integer-valued JSON data is accepted as f64.
+        let back =
+            parse_request(r#"{"id":1,"op":"update","at":[0],"dims":[2],"data":[1, 2.5]}"#).unwrap();
+        assert_eq!(
+            back.op,
+            Op::Mutation(Mutation::Update {
+                at: vec![0],
+                dims: vec![2],
+                data: vec![1.0, 2.5],
+            })
+        );
+    }
+
+    #[test]
+    fn update_validation_checks_arity_bounds_and_data_length() {
+        let domain = [8usize, 4];
+        let upd = |at: &[usize], dims: &[usize], n: usize| Mutation::Update {
+            at: at.to_vec(),
+            dims: dims.to_vec(),
+            data: vec![0.5; n],
+        };
+        assert!(upd(&[6, 2], &[2, 2], 4).validate(&domain).is_ok());
+        assert!(upd(&[6], &[2, 2], 4).validate(&domain).is_err(), "arity");
+        assert!(
+            upd(&[7, 2], &[2, 2], 4).validate(&domain).is_err(),
+            "bounds"
+        );
+        assert!(upd(&[0, 0], &[0, 2], 0).validate(&domain).is_err(), "empty");
+        assert!(upd(&[0, 0], &[2, 2], 3).validate(&domain).is_err(), "data");
+        assert!(Mutation::Commit.validate(&domain).is_ok());
     }
 
     #[test]

@@ -27,9 +27,24 @@
 //! responses have been written, which is how tests and CI smoke runs get a
 //! bounded, clean exit; pending queued requests are still answered before
 //! the workers park.
+//!
+//! # Writable serving
+//!
+//! [`QueryServer::bind_writable`] serves the same protocol over a
+//! [`SnapshotCoeffStore`] and additionally accepts `update` / `commit`
+//! mutations. Mutations are handled **synchronously on the connection
+//! reader** (buffering deltas is cheap and commits must be ordered with
+//! the requests around them on the same connection): `update` runs the
+//! SHIFT-SPLIT decomposition into a shared [`DeltaBuffer`], `commit`
+//! group-commits the buffer as the next epoch through the snapshot
+//! store's WAL-backed commit path. Query batches pin one snapshot for the
+//! whole batch, so a batch never observes a half-published epoch, and any
+//! query parsed after a commit's response pins an epoch at least as new
+//! (read-your-writes).
 
-use crate::proto::{self, Request, RequestError};
+use crate::proto::{self, Mutation, Op, Request, RequestError};
 use ss_core::TilingMap;
+use ss_maintain::{DeltaBuffer, FlushMode, SnapshotCoeffStore};
 use ss_obs::{Counter, Histogram};
 use ss_storage::{BlockStore, SharedCoeffStore};
 use std::collections::VecDeque;
@@ -89,6 +104,53 @@ struct Job {
     enqueued: Instant,
 }
 
+/// Type-erased mutation sink, so [`State`] stays non-generic. `Ok`
+/// carries the response value (deltas buffered for an update, the
+/// published epoch for a commit); `Err` carries a protocol error kind
+/// plus message.
+trait Mutator: Send + Sync {
+    fn update(&self, at: &[usize], dims: &[usize], data: Vec<f64>) -> Result<f64, MutErr>;
+    fn commit(&self) -> Result<f64, MutErr>;
+}
+
+type MutErr = (&'static str, String);
+
+/// The writable backend: one shared delta buffer feeding a snapshot
+/// store. The buffer mutex also serialises commits relative to updates,
+/// so a commit drains exactly the updates answered before it.
+struct WritableBackend<M: TilingMap, S: BlockStore> {
+    store: Arc<SnapshotCoeffStore<M, S>>,
+    buffer: Mutex<DeltaBuffer>,
+    levels: Vec<u32>,
+}
+
+impl<M, S> Mutator for WritableBackend<M, S>
+where
+    M: TilingMap,
+    S: BlockStore + Send + Sync,
+{
+    fn update(&self, at: &[usize], dims: &[usize], data: Vec<f64>) -> Result<f64, MutErr> {
+        let delta = ss_array::NdArray::from_vec(ss_array::Shape::new(dims), data);
+        let map = self.store.map();
+        let mut buf = self.buffer.lock().unwrap();
+        buf.begin_box();
+        let report =
+            ss_transform::for_each_box_delta_standard(&self.levels, at, &delta, |idx, d| {
+                buf.add_at(map, idx, d);
+            });
+        Ok(report.coeffs_touched as f64)
+    }
+
+    fn commit(&self) -> Result<f64, MutErr> {
+        let mut buf = self.buffer.lock().unwrap();
+        match self.store.commit(&mut buf) {
+            // Epochs stay far below 2^53 in practice, so the f64 is exact.
+            Ok((epoch, _)) => Ok(epoch as f64),
+            Err(e) => Err(("io", format!("commit failed: {e}"))),
+        }
+    }
+}
+
 struct Metrics {
     requests_ok: Counter,
     requests_err: Counter,
@@ -122,6 +184,8 @@ struct State {
     dims: Vec<usize>,
     batch_max: usize,
     metrics: Metrics,
+    /// `Some` on writable servers; `None` rejects mutations as `read_only`.
+    mutator: Option<Arc<dyn Mutator>>,
 }
 
 impl State {
@@ -172,23 +236,7 @@ impl QueryServer {
         M: TilingMap + 'static,
         S: BlockStore + Send + Sync + 'static,
     {
-        assert!(config.workers >= 1, "server needs at least one worker");
-        assert!(config.batch_max >= 1, "batch_max must be at least one");
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let dims = levels.iter().map(|&n| 1usize << n).collect();
-        let state = Arc::new(State {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            stop: AtomicBool::new(false),
-            answered: AtomicU64::new(0),
-            max_requests: config.max_requests,
-            addr: local,
-            levels,
-            dims,
-            batch_max: config.batch_max,
-            metrics: Metrics::resolve(),
-        });
+        let (listener, state) = make_state(addr, levels, &config, None)?;
         let store = Arc::new(store);
         let mut workers = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
@@ -200,6 +248,50 @@ impl QueryServer {
                     .spawn(move || executor_loop(&state, &store))?,
             );
         }
+        QueryServer::finish(listener, state, workers)
+    }
+
+    /// Binds `addr` and serves standard-form queries **and mutations**
+    /// against an epoch-versioned snapshot store: `update` buffers box
+    /// deltas under `flush_mode`, `commit` publishes them as the next
+    /// epoch, and each query batch executes against one pinned snapshot.
+    /// The caller keeps a clone of the `Arc` to checkpoint / recover the
+    /// store around the server's lifetime.
+    pub fn bind_writable<M, S>(
+        addr: &str,
+        store: Arc<SnapshotCoeffStore<M, S>>,
+        levels: Vec<u32>,
+        flush_mode: FlushMode,
+        config: ServeConfig,
+    ) -> std::io::Result<QueryServer>
+    where
+        M: TilingMap + 'static,
+        S: BlockStore + Send + Sync + 'static,
+    {
+        let backend = Arc::new(WritableBackend {
+            buffer: Mutex::new(DeltaBuffer::for_map(store.map(), flush_mode)),
+            levels: levels.clone(),
+            store: Arc::clone(&store),
+        });
+        let (listener, state) = make_state(addr, levels, &config, Some(backend))?;
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let state = Arc::clone(&state);
+            let store = Arc::clone(&store);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ss-serve-exec-{w}"))
+                    .spawn(move || snapshot_executor_loop(&state, &store))?,
+            );
+        }
+        QueryServer::finish(listener, state, workers)
+    }
+
+    fn finish(
+        listener: TcpListener,
+        state: Arc<State>,
+        workers: Vec<JoinHandle<()>>,
+    ) -> std::io::Result<QueryServer> {
         let acceptor_state = Arc::clone(&state);
         let acceptor = std::thread::Builder::new()
             .name("ss-serve-accept".into())
@@ -256,6 +348,33 @@ impl Drop for QueryServer {
     }
 }
 
+fn make_state(
+    addr: &str,
+    levels: Vec<u32>,
+    config: &ServeConfig,
+    mutator: Option<Arc<dyn Mutator>>,
+) -> std::io::Result<(TcpListener, Arc<State>)> {
+    assert!(config.workers >= 1, "server needs at least one worker");
+    assert!(config.batch_max >= 1, "batch_max must be at least one");
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let dims = levels.iter().map(|&n| 1usize << n).collect();
+    let state = Arc::new(State {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stop: AtomicBool::new(false),
+        answered: AtomicU64::new(0),
+        max_requests: config.max_requests,
+        addr: local,
+        levels,
+        dims,
+        batch_max: config.batch_max,
+        metrics: Metrics::resolve(),
+        mutator,
+    });
+    Ok((listener, state))
+}
+
 fn acceptor_loop(listener: &TcpListener, state: &Arc<State>) {
     loop {
         match listener.accept() {
@@ -307,10 +426,13 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
                 reply.send(&proto::err_response(e.id, e.kind, &e.message));
                 state.count_reply();
             }
-            Ok(req) => {
+            Ok(Request {
+                id,
+                op: Op::Query(query),
+            }) => {
                 let job = Job {
-                    id: req.id,
-                    plan: req.query.plan(&state.levels),
+                    id,
+                    plan: query.plan(&state.levels),
                     reply: Arc::clone(&reply),
                     enqueued: Instant::now(),
                 };
@@ -319,13 +441,53 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
                 drop(queue);
                 state.available.notify_one();
             }
+            // Mutations are answered synchronously on the reader: the
+            // response must be on the wire before the next line on this
+            // connection is read, so a client that pipelines
+            // `update, commit, query` gets read-your-writes.
+            Ok(Request {
+                id,
+                op: Op::Mutation(m),
+            }) => {
+                let started = Instant::now();
+                let outcome = match state.mutator.as_deref() {
+                    None => Err((
+                        "read_only",
+                        "this server is read-only (start it writable to accept mutations)"
+                            .to_string(),
+                    )),
+                    Some(mutator) => match m {
+                        Mutation::Update { at, dims, data } => mutator.update(&at, &dims, data),
+                        Mutation::Commit => mutator.commit(),
+                    },
+                };
+                match outcome {
+                    Ok(value) => {
+                        state.metrics.requests_ok.inc();
+                        state
+                            .metrics
+                            .request_ns
+                            .record(started.elapsed().as_nanos() as u64);
+                        reply.send(&proto::ok_response(id, value));
+                    }
+                    Err((kind, message)) => {
+                        state.metrics.requests_err.inc();
+                        reply.send(&proto::err_response(id, kind, &message));
+                    }
+                }
+                state.count_reply();
+            }
         }
     }
 }
 
 fn parse_and_validate(line: &str, dims: &[usize]) -> Result<Request, RequestError> {
     let req = proto::parse_request(line)?;
-    req.query.validate(dims).map_err(|message| RequestError {
+    match &req.op {
+        Op::Query(q) => q.validate(dims),
+        Op::Mutation(m) => m.validate(dims),
+    }
+    .map_err(|message| RequestError {
         id: req.id,
         kind: "bad_request",
         message,
@@ -365,16 +527,62 @@ where
         }
         let mut handle: &SharedCoeffStore<M, S> = store;
         let values = ss_query::execute_plans(&mut handle, &plans);
-        state.metrics.batches.inc();
-        state.metrics.batch_size.record(plans.len() as u64);
-        for ((id, reply, enqueued), value) in routes.into_iter().zip(values) {
-            state
-                .metrics
-                .request_ns
-                .record(enqueued.elapsed().as_nanos() as u64);
-            state.metrics.requests_ok.inc();
-            reply.send(&proto::ok_response(id, value));
-            state.count_reply();
+        answer_batch(state, routes, values);
+    }
+}
+
+/// Executor over a snapshot store: each batch pins one epoch for all of
+/// its queries, so no request can observe a half-published commit, and a
+/// request parsed after a commit's response pins an epoch at least as new.
+fn snapshot_executor_loop<M, S>(state: &Arc<State>, store: &Arc<SnapshotCoeffStore<M, S>>)
+where
+    M: TilingMap,
+    S: BlockStore,
+{
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if state.stopped() {
+                    return;
+                }
+                queue = state.available.wait(queue).unwrap();
+            }
+            let n = state.batch_max.min(queue.len());
+            queue.drain(..n).collect()
+        };
+        let mut plans = Vec::with_capacity(batch.len());
+        let mut routes = Vec::with_capacity(batch.len());
+        for job in batch {
+            plans.push(job.plan);
+            routes.push((job.id, job.reply, job.enqueued));
         }
+        let pin = store.pin();
+        let mut handle = &pin;
+        let values = ss_query::execute_plans(&mut handle, &plans);
+        drop(pin);
+        answer_batch(state, routes, values);
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn answer_batch(
+    state: &State,
+    routes: Vec<(Option<i128>, Arc<ReplyLine>, Instant)>,
+    values: Vec<f64>,
+) {
+    state.metrics.batches.inc();
+    state.metrics.batch_size.record(routes.len() as u64);
+    for ((id, reply, enqueued), value) in routes.into_iter().zip(values) {
+        state
+            .metrics
+            .request_ns
+            .record(enqueued.elapsed().as_nanos() as u64);
+        state.metrics.requests_ok.inc();
+        reply.send(&proto::ok_response(id, value));
+        state.count_reply();
     }
 }

@@ -41,6 +41,15 @@ pub trait BlockStore {
     /// not an I/O-counted operation (allocation, not transfer).
     fn grow(&mut self, blocks: usize);
 
+    /// Durability barrier: after `try_sync` returns, every previously
+    /// written block survives a crash. File-backed stores fsync here;
+    /// memory stores (and wrappers over them) have nothing to do, hence
+    /// the no-op default. The WAL commit protocol relies on this barrier
+    /// before truncating the log (see `docs/FORMAT.md` §7).
+    fn try_sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
     /// Reads block `id` into `buf` through a **shared** reference, for
     /// stores whose reads need no exclusive state (immutable memory,
     /// positional file reads). Returns `None` when the store cannot read

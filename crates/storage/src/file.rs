@@ -412,6 +412,10 @@ impl BlockStore for FileBlockStore {
         Ok(())
     }
 
+    fn try_sync(&mut self) -> Result<(), StorageError> {
+        FileBlockStore::sync(self)
+    }
+
     fn grow(&mut self, blocks: usize) {
         if blocks > self.blocks {
             self.file

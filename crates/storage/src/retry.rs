@@ -149,8 +149,46 @@ impl<S: BlockStore> BlockStore for RetryingBlockStore<S> {
         self.with_retries("write", id, |inner| inner.try_write_block(id, buf))
     }
 
+    fn try_sync(&mut self) -> Result<(), StorageError> {
+        self.inner.try_sync()
+    }
+
     fn grow(&mut self, blocks: usize) {
         self.inner.grow(blocks);
+    }
+
+    fn try_read_block_shared(
+        &self,
+        id: usize,
+        buf: &mut [f64],
+    ) -> Option<Result<(), StorageError>> {
+        // Same bounded backoff as the exclusive path, but through `&self`
+        // so the sharded pool keeps it under the store *read* lock:
+        // backoff sleeps then stall neither other shards' reads nor any
+        // shard's cached hits.
+        let mut retry = 0u32;
+        loop {
+            match self.inner.try_read_block_shared(id, buf)? {
+                Ok(()) => return Some(Ok(())),
+                Err(e) if !e.is_transient() => return Some(Err(e)),
+                Err(e) => {
+                    if retry >= self.policy.max_retries {
+                        self.exhausted.inc();
+                        return Some(Err(StorageError::RetriesExhausted {
+                            op: "read",
+                            block: id,
+                            attempts: retry + 1,
+                            source: Box::new(e),
+                        }));
+                    }
+                    let backoff = self.policy.backoff(retry);
+                    self.backoff_ns.record(backoff.as_nanos() as u64);
+                    self.retries.inc();
+                    std::thread::sleep(backoff);
+                    retry += 1;
+                }
+            }
+        }
     }
 }
 

@@ -77,6 +77,10 @@ impl<S: BlockStore> BlockStore for ThrottledBlockStore<S> {
         self.inner.try_write_block(id, buf)
     }
 
+    fn try_sync(&mut self) -> Result<(), StorageError> {
+        self.inner.try_sync()
+    }
+
     fn grow(&mut self, blocks: usize) {
         self.inner.grow(blocks);
     }

@@ -2,9 +2,11 @@
 # Regenerates the committed wall-clock baselines: BENCH_ingest.json for
 # the ingest path (parallel transform drivers + in-domain maintenance),
 # BENCH_serve.json for the concurrent query server (the exp_serve
-# workers × clients sweep, as ss-exp-v1 JSONL rows) and BENCH_update.json
+# workers × clients sweep, as ss-exp-v1 JSONL rows), BENCH_update.json
 # for the coalesced maintenance engine (the exp_update batch × box-size ×
-# form sweep, same row format).
+# form sweep, same row format) and BENCH_rw.json for the live read/write
+# server (the exp_rw readers × writers sweep over the MVCC snapshot
+# store, same row format).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
@@ -52,3 +54,10 @@ SS_EXP_JSON="$update_out.tmp" cargo run --release -q -p ss-bench --bin exp_updat
 ./scripts/check_metrics_schema rows "$update_out.tmp"
 mv "$update_out.tmp" "$update_out"
 echo "wrote $update_out"
+
+rw_out="${4:-BENCH_rw.json}"
+rm -f "$rw_out.tmp"
+SS_EXP_JSON="$rw_out.tmp" cargo run --release -q -p ss-bench --bin exp_rw
+./scripts/check_metrics_schema rows "$rw_out.tmp"
+mv "$rw_out.tmp" "$rw_out"
+echo "wrote $rw_out"
