@@ -159,6 +159,7 @@ fn main() {
                 workers: 4,
                 batch_max: BATCH_MAX,
                 max_requests: None,
+                slow_ns: None,
             },
         )
         .expect("bind");

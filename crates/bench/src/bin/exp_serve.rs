@@ -129,6 +129,7 @@ fn main() {
                     workers,
                     batch_max: BATCH_MAX,
                     max_requests: None,
+                    slow_ns: None,
                 },
             )
             .expect("bind");

@@ -574,8 +574,16 @@ pub fn scrub(args: &Args) -> Result<(), CmdError> {
     }
 }
 
-/// `stats <store>`
+/// `stats <store>` — or `stats --watch host:port [--iterations N]
+/// [--interval-ms M]` for a live `top`-style view of a running server's
+/// metrics endpoint (see `serve --metrics-port` / `serve-metrics`).
 pub fn stats(args: &Args) -> Result<(), String> {
+    if let Some(addr) = args.flag_opt("watch") {
+        if addr.is_empty() {
+            return Err("--watch needs a metrics address (host:port)".into());
+        }
+        return stats_watch(args, addr);
+    }
     let path = args.pos(0, "store path")?;
     let ws = WsFile::open(Path::new(path))?;
     let map = ws.meta.tiling();
@@ -601,6 +609,107 @@ pub fn stats(args: &Args) -> Result<(), String> {
         std::fs::metadata(ws.path()).map(|m| m.len()).unwrap_or(0)
     );
     metrics::emit_quiet(args, Some(&ws.stats))
+}
+
+/// The `stats --watch` loop: polls `/metrics.json` on `addr` and renders
+/// a compact live view — request/slow counters plus recent (windowed)
+/// and lifetime latency percentiles. `--iterations N` stops after N
+/// refreshes (0 or absent = run until killed); `--interval-ms M` sets the
+/// refresh cadence. On a terminal each refresh redraws in place.
+fn stats_watch(args: &Args, addr: &str) -> Result<(), String> {
+    let iterations = match args.flag_opt("iterations") {
+        Some(n) => n
+            .parse::<u64>()
+            .map_err(|e| format!("bad --iterations: {e}"))?,
+        None => 0,
+    };
+    let interval = match args.flag_opt("interval-ms") {
+        Some(m) => m
+            .parse::<u64>()
+            .map_err(|e| format!("bad --interval-ms: {e}"))?,
+        None => 1000,
+    };
+    use std::io::IsTerminal as _;
+    let redraw = std::io::stdout().is_terminal();
+    let mut done = 0u64;
+    loop {
+        let body = http_get(addr, "/metrics.json")?;
+        let doc =
+            ss_obs::json::parse(&body).map_err(|e| format!("bad metrics JSON from {addr}: {e}"))?;
+        if redraw {
+            // Clear screen + home, like top: each refresh repaints.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_watch(addr, &doc);
+        if redraw {
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+        }
+        done += 1;
+        if iterations != 0 && done >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
+}
+
+/// One `stats --watch` frame from an `ss-metrics-v1` document.
+fn render_watch(addr: &str, doc: &ss_obs::json::Value) {
+    println!("watching {addr}");
+    if let Some(w) = doc.get("recent_window_s") {
+        println!("recent window: {w}s");
+    }
+    if let Some(counters) = doc.get("counters").and_then(|c| c.as_object()) {
+        if !counters.is_empty() {
+            println!("counters:");
+            for (name, v) in counters {
+                println!("  {name:<32} {v}");
+            }
+        }
+    }
+    if let Some(hists) = doc.get("histograms").and_then(|h| h.as_object()) {
+        if !hists.is_empty() {
+            println!("latency (ns):");
+            println!(
+                "  {:<32} {:>10} {:>12} {:>12}   recent p50/p99",
+                "histogram", "count", "p50", "p99"
+            );
+            for (name, h) in hists {
+                let field = |v: &ss_obs::json::Value, k: &str| {
+                    v.get(k).and_then(|x| x.as_u64()).unwrap_or(0)
+                };
+                let recent = match h.get("recent") {
+                    Some(r) => format!("{}/{}", field(r, "p50"), field(r, "p99")),
+                    None => "-".to_string(),
+                };
+                println!(
+                    "  {name:<32} {:>10} {:>12} {:>12}   {recent}",
+                    field(h, "count"),
+                    field(h, "p50"),
+                    field(h, "p99"),
+                );
+            }
+        }
+    }
+}
+
+/// Minimal HTTP/1.0 GET against the metrics endpoint (std-only; the
+/// endpoint speaks plain-text HTTP with `Connection: close`).
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut sock =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    sock.write_all(
+        format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("sending request to {addr}: {e}"))?;
+    let mut response = String::new();
+    sock.read_to_string(&mut response)
+        .map_err(|e| format!("reading response from {addr}: {e}"))?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(format!("malformed HTTP response from {addr}")),
+    }
 }
 
 /// `serve-metrics --port N [--requests K] [store]`
@@ -642,7 +751,8 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
 }
 
 /// `serve <store> [--port N] [--workers W] [--batch B] [--requests K]
-/// [--addr-file FILE] [--writable [--wal FILE] [--mode exact|merged]]`
+/// [--addr-file FILE] [--writable [--wal FILE] [--mode exact|merged]]
+/// [--slow-ms T] [--trace-out FILE | --trace-ring] [--metrics-port N]`
 ///
 /// Serves standard-form point and range-sum queries against the store over
 /// plain TCP (line-delimited JSON; see the `ss-serve` crate docs for the
@@ -659,6 +769,14 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
 /// write-ahead log (`--wal`, default `<store>.wal`) *before* it becomes
 /// visible, commits left in the log by a crash are replayed on startup,
 /// and a clean shutdown checkpoints the store and truncates the log.
+///
+/// Introspection: `--trace-out FILE` records every request's spans and
+/// the commit pipeline's epoch-tagged events as `ss-trace-v1` JSON lines
+/// (`trace-dump` summarises the file or converts it for chrome://tracing);
+/// `--trace-ring` keeps the same events in the in-memory ring only.
+/// `--slow-ms T` logs any request slower than `T` milliseconds on stderr
+/// and counts it in `serve.requests_slow`. `--metrics-port N` exposes the
+/// live registry (with sliding-window recent percentiles) while serving.
 pub fn serve(args: &Args) -> Result<(), String> {
     let path = args.pos(0, "store path")?;
     let port: u16 = match args.flag_opt("port") {
@@ -690,6 +808,26 @@ pub fn serve(args: &Args) -> Result<(), String> {
         ),
         None => None,
     };
+    let slow_ns = match args.flag_opt("slow-ms") {
+        Some(ms) => {
+            let ms: f64 = ms.parse().map_err(|e| format!("bad --slow-ms: {e}"))?;
+            if !ms.is_finite() || ms < 0.0 {
+                return Err("--slow-ms must be a non-negative number".into());
+            }
+            Some((ms * 1e6) as u64)
+        }
+        None => None,
+    };
+    // Tracing goes live before the listener so even the first request is
+    // covered; `--trace-out` implies the ring too (trace-dump reads the
+    // file, `stats --watch` style tooling reads the ring).
+    let trace_out = args.flag_opt("trace-out").filter(|p| !p.is_empty());
+    if let Some(tpath) = trace_out {
+        let file = std::fs::File::create(tpath).map_err(|e| format!("creating {tpath}: {e}"))?;
+        ss_obs::trace::tracer().enable_export(Box::new(std::io::BufWriter::new(file)));
+    } else if args.flag_set("trace-ring") {
+        ss_obs::trace::tracer().enable_ring();
+    }
     let ws = WsFile::open(Path::new(path))?;
     let writable = args.flag_set("writable");
     if writable {
@@ -703,7 +841,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
         workers,
         batch_max,
         max_requests,
+        slow_ns,
     };
+    let _metrics = metrics::maybe_serve(args)?;
     let bind_addr = format!("127.0.0.1:{port}");
     let (server, snapshot) = if writable {
         let mode = match args.flag_opt("mode") {
@@ -759,6 +899,12 @@ pub fn serve(args: &Args) -> Result<(), String> {
             std::thread::yield_now();
         }
         println!("checkpointed store, wal truncated");
+    }
+    if let Some(tpath) = trace_out {
+        // Flushes the buffered writer and closes the file; events already
+        // in the ring stay readable for in-process consumers.
+        ss_obs::trace::tracer().disable();
+        println!("trace written to {tpath}");
     }
     metrics::emit_quiet(args, Some(&stats))
 }
@@ -833,14 +979,24 @@ pub fn wal_replay(args: &Args) -> Result<(), String> {
     metrics::emit_quiet(args, Some(&stats))
 }
 
-/// `query <addr> (--at i,j,… | --lo … --hi …) [--out FILE]`
+/// `query <addr> (--at i,j,… | --lo … --hi …) [--out FILE] [--trace N]`
 ///
 /// One-shot client for a running `serve` instance. Prints the answer on
 /// stdout; `--out` additionally writes it to a file (shortest-roundtrip
 /// formatting, so reading it back yields the served `f64` bit for bit).
+/// `--trace N` tags the request with trace id `N`: a tracing-enabled
+/// server records its spans under that id (old or tracing-off servers
+/// ignore the tag).
 pub fn query(args: &Args) -> Result<(), String> {
     let addr = args.pos(0, "server address (host:port)")?;
     let mut client = ss_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    if let Some(t) = args.flag_opt("trace") {
+        let t: u64 = t.parse().map_err(|e| format!("bad --trace: {e}"))?;
+        if t == 0 {
+            return Err("--trace must be a positive integer (0 means untraced)".into());
+        }
+        client.set_trace(Some(t));
+    }
     let value = if let Some(at) = args.flag_opt("at") {
         let pos = parse_list(at)?;
         client.point(&pos).map_err(|e| e.to_string())?
@@ -854,6 +1010,123 @@ pub fn query(args: &Args) -> Result<(), String> {
         std::fs::write(out, format!("{value}\n")).map_err(|e| e.to_string())?;
     }
     metrics::emit_quiet(args, None)
+}
+
+/// `trace-dump <file> [--chrome OUT]`
+///
+/// Summarises an `ss-trace-v1` JSON-lines file (from `serve --trace-out`):
+/// event counts by kind, distinct request traces, span begin/end matching,
+/// per-span-name latency totals, and the epoch range covered by commit
+/// events. `--chrome OUT` additionally converts the file to Chrome
+/// `trace_event` JSON — open it at chrome://tracing or ui.perfetto.dev to
+/// follow one request end to end.
+pub fn trace_dump(args: &Args) -> Result<(), String> {
+    let path = args.pos(0, "trace file (ss-trace-v1 JSON lines)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    use std::collections::{BTreeMap, HashMap, HashSet};
+    let mut lines: Vec<ss_obs::json::Value> = Vec::new();
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut traces: HashSet<u64> = HashSet::new();
+    let mut open_spans: HashMap<u64, String> = HashMap::new();
+    // name -> (count, total ns, max ns) over completed spans
+    let mut span_stats: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    let mut ended = 0u64;
+    let mut epochs: Option<(u64, u64)> = None;
+    for (no, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = no + 1;
+        let v = ss_obs::json::parse(raw).map_err(|e| format!("{path}:{line}: {e}"))?;
+        match v.get("schema").and_then(|s| s.as_str()) {
+            Some(ss_obs::trace::TRACE_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "{path}:{line}: schema {other:?}, expected {:?}",
+                    ss_obs::trace::TRACE_SCHEMA
+                ))
+            }
+        }
+        let ev = v
+            .get("ev")
+            .and_then(|e| e.as_str())
+            .ok_or(format!("{path}:{line}: missing event tag"))?
+            .to_string();
+        if let Some(t) = v.get("trace").and_then(|t| t.as_u64()) {
+            if t != 0 {
+                traces.insert(t);
+            }
+        }
+        let field = |k: &str| v.get(k).and_then(|x| x.as_u64());
+        match ev.as_str() {
+            "span_begin" => {
+                let span =
+                    field("span").ok_or(format!("{path}:{line}: span_begin without span"))?;
+                let name = v
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                open_spans.insert(span, name);
+            }
+            "span_end" => {
+                let span = field("span").ok_or(format!("{path}:{line}: span_end without span"))?;
+                let name = open_spans
+                    .remove(&span)
+                    .ok_or(format!("{path}:{line}: span_end without matching begin"))?;
+                let dur = field("dur").unwrap_or(0);
+                let e = span_stats.entry(name).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += dur;
+                e.2 = e.2.max(dur);
+                ended += 1;
+            }
+            "commit" | "checkpoint" | "wal_append" | "wal_fsync" => {
+                if let Some(epoch) = field("epoch") {
+                    epochs = Some(match epochs {
+                        None => (epoch, epoch),
+                        Some((lo, hi)) => (lo.min(epoch), hi.max(epoch)),
+                    });
+                }
+            }
+            _ => {}
+        }
+        *kinds.entry(ev).or_insert(0) += 1;
+        lines.push(v);
+    }
+    println!("trace   : {path}");
+    println!("events  : {}", lines.len());
+    println!("traces  : {} distinct request trace ids", traces.len());
+    println!(
+        "spans   : {ended} completed, {} unmatched begin(s)",
+        open_spans.len()
+    );
+    if let Some((lo, hi)) = epochs {
+        println!("epochs  : {lo}..={hi} touched by the commit pipeline");
+    }
+    if !kinds.is_empty() {
+        let by_kind: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        println!("by kind : {}", by_kind.join(" "));
+    }
+    if !span_stats.is_empty() {
+        println!(
+            "{:<24} {:>8} {:>12} {:>12}",
+            "span", "count", "total_us", "max_us"
+        );
+        for (name, (count, total, max)) in &span_stats {
+            println!(
+                "{name:<24} {count:>8} {:>12} {:>12}",
+                total / 1_000,
+                max / 1_000
+            );
+        }
+    }
+    if let Some(out) = args.flag_opt("chrome") {
+        let chrome = ss_obs::trace::chrome_trace(&lines);
+        std::fs::write(out, format!("{chrome}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("chrome trace written to {out} (open at chrome://tracing)");
+    }
+    Ok(())
 }
 
 /// `stream --data values.csv --k K [--buffer B]`

@@ -57,6 +57,7 @@ COMMANDS:
   stream  --data FILE --k K        best-K synopsis of a value stream
   serve   <store> [--port N] [--workers W] [--batch B] [--requests K]
           [--addr-file F] [--writable [--wal F] [--mode exact|merged]]
+          [--slow-ms T] [--trace-out F | --trace-ring] [--metrics-port N]
           serve point/sum queries over TCP
           (line-delimited JSON; workers batch concurrent requests
           tile-major so hot tiles are fetched once; --requests K exits
@@ -64,13 +65,25 @@ COMMANDS:
           --writable also accepts update/commit operations: commits are
           fsynced to the write-ahead log before they become visible,
           crash-left commits replay on startup, and a clean shutdown
-          checkpoints the store and truncates the log)
+          checkpoints the store and truncates the log;
+          --trace-out records every request's spans, tile fetches and the
+          epoch-tagged commit pipeline as ss-trace-v1 JSON lines;
+          --trace-ring keeps them in the in-memory ring only; --slow-ms T
+          logs requests slower than T ms on stderr; --metrics-port serves
+          the live registry with recent-window percentiles)
   wal-replay <store> [--wal F]   replay crash-left commits from the
           write-ahead log onto the store, sync it, truncate the log
-  query   <addr> (--at i,j,… | --lo … --hi …) [--out F]
+  query   <addr> (--at i,j,… | --lo … --hi …) [--out F] [--trace N]
           one-shot client for a running serve instance
+          (--trace N tags the request so a tracing server records its
+          spans under id N; older servers ignore the tag)
+  trace-dump <file> [--chrome OUT]   summarise an ss-trace-v1 log:
+          event counts, span matching, per-span latency, commit epochs;
+          --chrome converts it for chrome://tracing / ui.perfetto.dev
   serve-metrics --port N [--requests K] [store]   expose the metrics registry
           (Prometheus text on any path, ss-metrics-v1 JSON on *.json paths)
+  stats --watch host:port [--iterations N] [--interval-ms M]
+          top-style live view of a running server's metrics endpoint
   demo                             self-contained demonstration
 
 Every command also accepts --metrics-out FILE to write an ss-metrics-v1
@@ -136,6 +149,7 @@ fn run(raw: &[String]) -> Result<(), CmdError> {
         "serve" => commands::serve(&args),
         "wal-replay" => commands::wal_replay(&args),
         "query" => commands::query(&args),
+        "trace-dump" => commands::trace_dump(&args),
         "serve-metrics" => commands::serve_metrics(&args),
         "demo" => demo(),
         "" => Err("no command given".into()),
@@ -164,6 +178,7 @@ fn command_slug(command: &str) -> &'static str {
         "serve" => "serve",
         "wal-replay" => "wal_replay",
         "query" => "query",
+        "trace-dump" => "trace_dump",
         "serve-metrics" => "serve_metrics",
         "demo" => "demo",
         _ => "unknown",
@@ -649,6 +664,231 @@ mod tests {
         let a = ss_query::point_standard(&mut ws.store, &ws.meta.levels, &[2, 3]);
         assert!((a - 4.5).abs() < 1e-9, "{a}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_serve_exports_a_followable_log_and_trace_dump_reads_it() {
+        // A writable tracing server: a traced CLI query, then a traced
+        // update+commit through the client. The ss-trace-v1 log must
+        // parse line by line, contain the query's request span under its
+        // explicit trace id, and tag the commit with epoch 1. trace-dump
+        // must summarise the same file and convert it for chrome://tracing.
+        // Trace ids are deliberately large: fresh server-allocated ids
+        // count up from 1, so concurrent tests can never collide with these.
+        const QUERY_TRACE: u64 = 700_001;
+        const UPDATE_TRACE: u64 = 900_002;
+        let dir = tmp_dir("traced_serve");
+        let store = dir.join("s.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&[
+            "create", &store_s, "--levels", "3,3", "--tiles", "1,1",
+        ]))
+        .unwrap();
+        let data = write_cube_csv(&dir, "d.csv", 8, 8);
+        run(&to_args(&["ingest", &store_s, "--data", &data])).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let trace_s = trace.to_str().unwrap().to_string();
+        let addr_file = dir.join("addr.txt");
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        // Budget of 5: traced point, baseline point, update, commit,
+        // read-your-writes point.
+        let serve_store = store_s.clone();
+        let serve_trace = trace_s.clone();
+        let server = std::thread::spawn(move || {
+            run(&to_args(&[
+                "serve",
+                &serve_store,
+                "--writable",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--requests",
+                "5",
+                "--trace-out",
+                &serve_trace,
+                "--slow-ms",
+                "60000",
+                "--addr-file",
+                &addr_file_s,
+            ]))
+        });
+        let addr = loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(a) if !a.is_empty() => break a,
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        run(&to_args(&[
+            "query",
+            &addr,
+            "--at",
+            "2,3",
+            "--trace",
+            &QUERY_TRACE.to_string(),
+        ]))
+        .unwrap();
+        let mut client = ss_serve::Client::connect(addr.trim()).unwrap();
+        client.set_trace(Some(UPDATE_TRACE));
+        let base = client.point(&[1, 1]).unwrap();
+        client.update(&[1, 1], &[1, 1], &[2.5]).unwrap();
+        assert_eq!(client.commit().unwrap(), 1.0);
+        let after = client.point(&[1, 1]).unwrap();
+        assert!((after - base - 2.5).abs() < 1e-9, "{base} -> {after}");
+        drop(client);
+        server.join().unwrap().unwrap();
+
+        // Every line is valid ss-trace-v1 JSON.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<ss_obs::json::Value> = text
+            .lines()
+            .map(|l| ss_obs::json::parse(l).unwrap())
+            .collect();
+        assert!(!lines.is_empty());
+        for l in &lines {
+            assert_eq!(
+                l.get("schema").unwrap().as_str(),
+                Some(ss_obs::trace::TRACE_SCHEMA)
+            );
+        }
+        let of_trace = |t: u64| -> Vec<&ss_obs::json::Value> {
+            lines
+                .iter()
+                .filter(|l| l.get("trace").and_then(|x| x.as_u64()) == Some(t))
+                .collect()
+        };
+        // The CLI query ran under its explicit id with a matched
+        // request span and at least one tile fetch.
+        let q = of_trace(QUERY_TRACE);
+        let named = |evs: &[&ss_obs::json::Value], ev: &str, name: &str| {
+            evs.iter().any(|l| {
+                l.get("ev").and_then(|x| x.as_str()) == Some(ev)
+                    && l.get("name").and_then(|x| x.as_str()) == Some(name)
+            })
+        };
+        assert!(named(&q, "span_begin", "serve.request"), "{text}");
+        assert!(named(&q, "span_end", "serve.request"), "{text}");
+        assert!(
+            q.iter()
+                .any(|l| l.get("ev").and_then(|x| x.as_str()) == Some("tile_fetch")),
+            "{text}"
+        );
+        // The update trace carries the commit span; the commit pipeline
+        // tagged epoch 1 (pipeline events run outside any request trace).
+        let u = of_trace(UPDATE_TRACE);
+        assert!(named(&u, "span_end", "serve.commit"), "{text}");
+        assert!(
+            lines.iter().any(|l| {
+                l.get("ev").and_then(|x| x.as_str()) == Some("commit")
+                    && l.get("epoch").and_then(|x| x.as_u64()) == Some(1)
+            }),
+            "{text}"
+        );
+        // No slow-request events: the 60 s threshold is unreachable here.
+        assert!(!text.contains("slow_request"), "{text}");
+
+        // trace-dump summarises the file and emits a Chrome conversion.
+        run(&to_args(&["trace-dump", &trace_s])).unwrap();
+        let chrome = dir.join("chrome.json");
+        let chrome_s = chrome.to_str().unwrap().to_string();
+        run(&to_args(&["trace-dump", &trace_s, "--chrome", &chrome_s])).unwrap();
+        let chrome_doc = ss_obs::json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let slices = chrome_doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!slices.is_empty());
+        // A non-trace file is rejected with a line number, not a panic.
+        let junk = dir.join("junk.txt");
+        std::fs::write(&junk, "{\"schema\":\"bogus\"}\n").unwrap();
+        assert!(run(&to_args(&["trace-dump", junk.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_request_log_fires_only_above_threshold() {
+        let dir = tmp_dir("slow_serve");
+        let store = dir.join("s.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&to_args(&[
+            "create", &store_s, "--levels", "2,2", "--tiles", "1,1",
+        ]))
+        .unwrap();
+        let slow = ss_obs::global().counter("serve.requests_slow");
+        // Threshold 0 ms marks every request slow; a 60 s threshold none.
+        // (Concurrent tests run their servers without --slow-ms, so the
+        // counter moves only through these two.)
+        for (ms, expect_slow) in [("60000", false), ("0", true)] {
+            let before = slow.get();
+            let addr_file = dir.join(format!("addr_{ms}.txt"));
+            let addr_file_s = addr_file.to_str().unwrap().to_string();
+            let serve_store = store_s.clone();
+            let ms_owned = ms.to_string();
+            let server = std::thread::spawn(move || {
+                run(&to_args(&[
+                    "serve",
+                    &serve_store,
+                    "--port",
+                    "0",
+                    "--requests",
+                    "2",
+                    "--slow-ms",
+                    &ms_owned,
+                    "--addr-file",
+                    &addr_file_s,
+                ]))
+            });
+            let addr = loop {
+                match std::fs::read_to_string(&addr_file) {
+                    Ok(a) if !a.is_empty() => break a,
+                    _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+                }
+            };
+            let mut client = ss_serve::Client::connect(addr.trim()).unwrap();
+            client.point(&[0, 0]).unwrap();
+            client.point(&[1, 1]).unwrap();
+            drop(client);
+            server.join().unwrap().unwrap();
+            let fired = slow.get() - before;
+            if expect_slow {
+                assert!(
+                    fired >= 2,
+                    "threshold 0 must mark every request, got {fired}"
+                );
+            } else {
+                assert_eq!(fired, 0, "60 s threshold must mark nothing");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_watch_polls_a_metrics_endpoint() {
+        // A live endpoint with windowed percentiles; --iterations bounds
+        // the loop so the test terminates.
+        ss_obs::global().record_ns("watch_test.ns", 1234);
+        let window =
+            ss_obs::HistogramWindow::new(ss_obs::global(), std::time::Duration::from_millis(10), 3);
+        let server =
+            ss_obs::MetricsServer::bind_windowed("127.0.0.1:0", ss_obs::global(), window).unwrap();
+        let addr = server.local_addr().to_string();
+        run(&to_args(&[
+            "stats",
+            "--watch",
+            &addr,
+            "--iterations",
+            "2",
+            "--interval-ms",
+            "20",
+        ]))
+        .unwrap();
+        // An unreachable endpoint is a clean error, not a hang or panic.
+        assert!(run(&to_args(&[
+            "stats",
+            "--watch",
+            "127.0.0.1:1",
+            "--iterations",
+            "1",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(tmp_dir("watch_unused")).ok();
     }
 
     /// Writes a CSV cube of `rows x cols` pseudorandom values and returns

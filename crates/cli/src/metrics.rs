@@ -49,7 +49,9 @@ fn write_snapshot(path: &str) -> Result<(), String> {
 
 /// Starts a background metrics endpoint when `--metrics-port N` is given.
 /// Keep the returned guard alive for as long as the endpoint should serve;
-/// it shuts down on drop.
+/// it shuts down on drop. The endpoint runs windowed: a sliding interval
+/// of recent histogram baselines (6 ticks of 10 s — roughly the last
+/// minute) backs the `recent` p50/p99 views next to the lifetime numbers.
 pub fn maybe_serve(args: &Args) -> Result<Option<ss_obs::MetricsServer>, String> {
     let Some(port) = args.flag_opt("metrics-port") else {
         return Ok(None);
@@ -57,8 +59,14 @@ pub fn maybe_serve(args: &Args) -> Result<Option<ss_obs::MetricsServer>, String>
     let port: u16 = port
         .parse()
         .map_err(|e| format!("bad --metrics-port: {e}"))?;
-    let server = ss_obs::MetricsServer::bind(&format!("127.0.0.1:{port}"), ss_obs::global())
-        .map_err(|e| format!("binding metrics port: {e}"))?;
+    let window =
+        ss_obs::HistogramWindow::new(ss_obs::global(), std::time::Duration::from_secs(10), 6);
+    let server = ss_obs::MetricsServer::bind_windowed(
+        &format!("127.0.0.1:{port}"),
+        ss_obs::global(),
+        window,
+    )
+    .map_err(|e| format!("binding metrics port: {e}"))?;
     eprintln!("metrics: serving on http://{}/metrics", server.local_addr());
     Ok(Some(server))
 }

@@ -150,6 +150,7 @@ impl<M: TilingMap, S: BlockStore> SnapshotCoeffStore<M, S> {
                 image: image.as_ref().clone(),
             });
         }
+        let committed_tiles = wal_tiles.len() as u64;
         if let Some(wal) = writer.wal.as_mut() {
             wal.append(&WalRecord {
                 epoch,
@@ -165,6 +166,10 @@ impl<M: TilingMap, S: BlockStore> SnapshotCoeffStore<M, S> {
         writer.versions.push_back(Arc::clone(&version));
         *self.current.lock().unwrap() = Arc::clone(&version);
         self.epoch.store(epoch, Ordering::Release);
+        ss_obs::trace::pipeline_event(ss_obs::TraceEventKind::Commit {
+            epoch,
+            tiles: committed_tiles,
+        });
         // Retire versions that drained while we were committing.
         Self::retire_drained(&mut writer.versions);
         let g = ss_obs::global();
@@ -246,6 +251,7 @@ impl<M: TilingMap, S: BlockStore> SnapshotCoeffStore<M, S> {
             writer.versions.pop_back();
         }
         writer.versions.push_back(fresh);
+        ss_obs::trace::pipeline_event(ss_obs::TraceEventKind::Checkpoint { epoch: cur.epoch });
         let g = ss_obs::global();
         g.counter("snapshot.folds").inc();
         g.gauge("snapshot.live_versions")

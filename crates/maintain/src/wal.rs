@@ -165,8 +165,17 @@ impl Wal {
         self.file
             .seek(SeekFrom::Start(self.end))
             .and_then(|_| self.file.write_all(&framed))
-            .and_then(|_| self.file.sync_data())
             .map_err(|e| StorageError::io("append WAL record", e))?;
+        ss_obs::trace::pipeline_event(ss_obs::TraceEventKind::WalAppend {
+            epoch: record.epoch,
+            bytes: framed.len() as u64,
+        });
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("fsync WAL record", e))?;
+        ss_obs::trace::pipeline_event(ss_obs::TraceEventKind::WalFsync {
+            epoch: record.epoch,
+        });
         self.end += framed.len() as u64;
         self.last_epoch = record.epoch;
         let g = ss_obs::global();

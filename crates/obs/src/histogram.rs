@@ -95,6 +95,12 @@ impl Histogram {
         self.inner.count.load(Ordering::Relaxed)
     }
 
+    /// The samples recorded since `earlier` was taken (see
+    /// [`HistogramSnapshot::delta_since`]).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        self.snapshot().delta_since(earlier)
+    }
+
     /// Copies the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; NUM_BUCKETS];
@@ -166,6 +172,31 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The interval histogram: samples recorded between `earlier` and
+    /// `self` (both snapshots of the **same** histogram, `earlier` taken
+    /// first). Bucket counts and `count` subtract exactly; `sum`
+    /// subtracts wrapping (it accumulates wrapping). The histogram does
+    /// not retain per-interval maxima, so `max` is reconstructed as the
+    /// tightest bound both sides imply: the upper bound of the highest
+    /// non-empty delta bucket, capped at the lifetime max. That keeps
+    /// `p50 ≤ p90 ≤ p99 ≤ max` monotone on the delta by construction.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        let mut top = None;
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            if *b > 0 {
+                top = Some(i);
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: top.map_or(0, |i| bucket_upper(i).min(self.max)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +265,62 @@ mod tests {
         assert_eq!(s.p50(), 0);
         assert_eq!(s.p99(), 0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_interval() {
+        let h = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            h.record(v);
+        }
+        let baseline = h.snapshot();
+        h.record(16);
+        h.record(32);
+        let delta = h.delta_since(&baseline);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 48);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 2);
+        // Only the interval's buckets survive; the delta max bounds them.
+        assert_eq!(delta.buckets[bucket_of(16)], 1);
+        assert_eq!(delta.buckets[bucket_of(32)], 1);
+        assert!(delta.max >= 32 && delta.max < 64, "max {}", delta.max);
+        assert!(delta.p99() <= delta.max);
+    }
+
+    #[test]
+    fn delta_since_empty_interval_reads_zero() {
+        let h = Histogram::new();
+        h.record(77);
+        let baseline = h.snapshot();
+        let delta = h.delta_since(&baseline);
+        assert_eq!(delta.count, 0);
+        assert_eq!(delta.max, 0);
+        assert_eq!(delta.p50(), 0);
+        assert_eq!(delta.p99(), 0);
+    }
+
+    #[test]
+    fn delta_since_percentiles_stay_monotone() {
+        // Mixed magnitudes before and after the baseline: the interval
+        // view must keep quantile ordering on its own.
+        let h = Histogram::new();
+        for v in [u64::MAX, 5, 0] {
+            h.record(v);
+        }
+        let baseline = h.snapshot();
+        for v in [3u64, 900, 17, 100_000, 3, 3, 900] {
+            h.record(v);
+        }
+        let d = h.delta_since(&baseline);
+        assert_eq!(d.count, 7);
+        let (p50, p90, p99) = (d.p50(), d.p90(), d.p99());
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= d.max,
+            "{p50} {p90} {p99} {}",
+            d.max
+        );
+        // The lifetime max (u64::MAX) must not leak into the interval.
+        assert!(d.max < 1 << 17, "interval max {}", d.max);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   [`std::net::TcpListener`] by [`server`].
 //! * A tiny JSON value/parser ([`json`]) so tests and tools can consume
 //!   the snapshots without external crates.
+//! * Structured per-request tracing ([`trace`]): typed span/point events
+//!   in a lock-cheap ring buffer, exported as `ss-trace-v1` JSON lines
+//!   or a Chrome `trace_event` dump.
+//! * Sliding-interval histogram windows ([`window`]) so a long-running
+//!   server's exporters report *recent* p50/p99 next to the lifetime
+//!   percentiles.
 //!
 //! Most callers use the process-wide [`global`] registry:
 //!
@@ -35,11 +41,15 @@ pub mod json;
 pub mod registry;
 pub mod server;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{global, Counter, Gauge, Registry};
 pub use server::{serve, MetricsServer};
 pub use span::{Span, Stopwatch};
+pub use trace::{SpanCtx, TraceEvent, TraceEventKind, TraceMode, Tracer};
+pub use window::HistogramWindow;
 
 /// Times `f` and records the elapsed nanoseconds into histogram `name` of
 /// the [`global`] registry.

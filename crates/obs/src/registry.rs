@@ -1,8 +1,9 @@
 //! The metric registry and its exporters.
 
-use crate::histogram::{bucket_upper, Histogram, NUM_BUCKETS};
+use crate::histogram::{bucket_upper, Histogram, HistogramSnapshot, NUM_BUCKETS};
 use crate::json::Value;
 use crate::span::Span;
+use crate::window::HistogramWindow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -186,6 +187,19 @@ impl Registry {
         self.inner.metrics.write().unwrap().clear();
     }
 
+    /// Snapshots every registered histogram (name-sorted), the feed for
+    /// [`HistogramWindow::tick`].
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let metrics = self.inner.metrics.read().unwrap();
+        metrics
+            .iter()
+            .filter_map(|(name, m)| match m {
+                Metric::Histogram(h) => Some((name.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The JSON snapshot as a [`Value`] tree (`ss-metrics-v1` schema):
     ///
     /// ```json
@@ -206,6 +220,19 @@ impl Registry {
     /// `buckets` lists only non-empty buckets as
     /// `[inclusive upper bound, count]` pairs in ascending order.
     pub fn to_json_value(&self) -> Value {
+        self.to_json_value_windowed(None)
+    }
+
+    /// Like [`to_json_value`](Registry::to_json_value), with the
+    /// sliding-interval view attached: when `window` is given (and has
+    /// ticked at least once over a histogram), that histogram's object
+    /// gains a `"recent"` sub-object — `count`, `sum`, `max`, `p50`,
+    /// `p90`, `p99` over roughly the last [`span_secs`] of traffic — and
+    /// the document gains a top-level `"recent_window_s"`. Old consumers
+    /// ignore the extra fields; the schema tag is unchanged.
+    ///
+    /// [`span_secs`]: HistogramWindow::span_secs
+    pub fn to_json_value_windowed(&self, window: Option<&HistogramWindow>) -> Value {
         let metrics = self.inner.metrics.read().unwrap();
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
@@ -225,27 +252,42 @@ impl Registry {
                             ])
                         })
                         .collect();
-                    histograms.push((
-                        name.clone(),
-                        Value::Object(vec![
-                            ("count".into(), Value::from(s.count)),
-                            ("sum".into(), Value::from(s.sum)),
-                            ("max".into(), Value::from(s.max)),
-                            ("p50".into(), Value::from(s.p50())),
-                            ("p90".into(), Value::from(s.p90())),
-                            ("p99".into(), Value::from(s.p99())),
-                            ("buckets".into(), Value::Array(buckets)),
-                        ]),
-                    ));
+                    let mut pairs = vec![
+                        ("count".into(), Value::from(s.count)),
+                        ("sum".into(), Value::from(s.sum)),
+                        ("max".into(), Value::from(s.max)),
+                        ("p50".into(), Value::from(s.p50())),
+                        ("p90".into(), Value::from(s.p90())),
+                        ("p99".into(), Value::from(s.p99())),
+                        ("buckets".into(), Value::Array(buckets)),
+                    ];
+                    if let Some(recent) = window.and_then(|w| w.recent_from(name, &s)) {
+                        pairs.push((
+                            "recent".into(),
+                            Value::Object(vec![
+                                ("count".into(), Value::from(recent.count)),
+                                ("sum".into(), Value::from(recent.sum)),
+                                ("max".into(), Value::from(recent.max)),
+                                ("p50".into(), Value::from(recent.p50())),
+                                ("p90".into(), Value::from(recent.p90())),
+                                ("p99".into(), Value::from(recent.p99())),
+                            ]),
+                        ));
+                    }
+                    histograms.push((name.clone(), Value::Object(pairs)));
                 }
             }
         }
-        Value::Object(vec![
+        let mut doc = vec![
             ("schema".into(), Value::from(SCHEMA)),
             ("counters".into(), Value::Object(counters)),
             ("gauges".into(), Value::Object(gauges)),
             ("histograms".into(), Value::Object(histograms)),
-        ])
+        ];
+        if let Some(w) = window {
+            doc.push(("recent_window_s".into(), Value::Float(w.span_secs())));
+        }
+        Value::Object(doc)
     }
 
     /// The JSON snapshot as text (see [`to_json_value`](Registry::to_json_value)).
@@ -259,6 +301,15 @@ impl Registry {
     /// `ss_`-prefixed underscore names (`io.block_reads` →
     /// `ss_io_block_reads`).
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_windowed(None)
+    }
+
+    /// Like [`to_prometheus`](Registry::to_prometheus), additionally
+    /// exposing each windowed histogram's recent view as gauges
+    /// (`{name}_recent_p50` / `_p90` / `_p99` / `_max` / `_count`) so a
+    /// scraper sees sliding-interval percentiles without doing rate math
+    /// over buckets.
+    pub fn to_prometheus_windowed(&self, window: Option<&HistogramWindow>) -> String {
         let metrics = self.inner.metrics.read().unwrap();
         let mut out = String::new();
         for (name, metric) in metrics.iter() {
@@ -287,6 +338,19 @@ impl Registry {
                     out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", s.count));
                     out.push_str(&format!("{pname}_sum {}\n", s.sum));
                     out.push_str(&format!("{pname}_count {}\n", s.count));
+                    if let Some(recent) = window.and_then(|w| w.recent_from(name, &s)) {
+                        for (suffix, v) in [
+                            ("recent_p50", recent.p50()),
+                            ("recent_p90", recent.p90()),
+                            ("recent_p99", recent.p99()),
+                            ("recent_max", recent.max),
+                            ("recent_count", recent.count),
+                        ] {
+                            out.push_str(&format!(
+                                "# TYPE {pname}_{suffix} gauge\n{pname}_{suffix} {v}\n"
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -420,6 +484,74 @@ mod tests {
             assert!(n >= last, "{line}");
             last = n;
         }
+    }
+
+    #[test]
+    fn prometheus_name_escaping_covers_non_alphanumerics() {
+        assert_eq!(prometheus_name("io.block_reads"), "ss_io_block_reads");
+        assert_eq!(prometheus_name("a-b c/d.e"), "ss_a_b_c_d_e");
+        assert_eq!(prometheus_name("ünïcode.ns"), "ss__n_code_ns");
+        assert_eq!(prometheus_name("9leading.digit"), "ss_9leading_digit");
+        assert_eq!(prometheus_name(""), "ss_");
+        // Escaped names stay within the Prometheus grammar
+        // [a-zA-Z_:][a-zA-Z0-9_:]*.
+        for raw in ["x{y=\"z\"}", "new\nline", "emoji🙂name"] {
+            let p = prometheus_name(raw);
+            assert!(p.chars().next().unwrap().is_ascii_alphabetic() || p.starts_with("ss_"));
+            assert!(
+                p.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = Registry::new();
+        assert_eq!(r.to_prometheus(), "");
+        let v = json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+        for section in ["counters", "gauges", "histograms"] {
+            assert!(
+                v.get(section).unwrap().as_object().unwrap().is_empty(),
+                "{section} not empty"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_exports_attach_recent_views() {
+        use crate::window::HistogramWindow;
+        use std::time::Duration;
+        let r = Registry::new();
+        let h = r.histogram("srv.request_ns");
+        for _ in 0..50 {
+            h.record(1 << 20);
+        }
+        let w = HistogramWindow::new(r.clone(), Duration::from_millis(10), 3);
+
+        // Before the first tick: no recent view, schema unchanged.
+        let v = json::parse(&r.to_json_value_windowed(Some(&w)).to_string()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let hv = v.get("histograms").unwrap().get("srv.request_ns").unwrap();
+        assert!(hv.get("recent").is_none());
+
+        w.tick();
+        for _ in 0..5 {
+            h.record(64);
+        }
+        let v = json::parse(&r.to_json_value_windowed(Some(&w)).to_string()).unwrap();
+        let hv = v.get("histograms").unwrap().get("srv.request_ns").unwrap();
+        let recent = hv.get("recent").unwrap();
+        assert_eq!(recent.get("count").unwrap().as_u64(), Some(5));
+        assert!(recent.get("p99").unwrap().as_u64().unwrap() <= 127);
+        // Lifetime p99 still reflects the old heavy samples.
+        assert!(hv.get("p99").unwrap().as_u64().unwrap() >= 1 << 19);
+        assert!(v.get("recent_window_s").unwrap().as_f64().is_some());
+
+        let text = r.to_prometheus_windowed(Some(&w));
+        assert!(text.contains("ss_srv_request_ns_recent_p99"), "{text}");
+        assert!(text.contains("ss_srv_request_ns_recent_count 5"), "{text}");
     }
 
     mod roundtrip_property {

@@ -7,11 +7,13 @@
 //! Prometheus scraper, or a test's raw [`std::net::TcpStream`].
 
 use crate::registry::Registry;
+use crate::window::HistogramWindow;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Serves `registry` on `listener` until `max_requests` requests have been
 /// answered (forever when `None`). Returns the number of requests served.
@@ -29,12 +31,16 @@ pub fn serve(
         }
         let (stream, _) = listener.accept()?;
         // Best-effort: a broken client connection must not kill the server.
-        let _ = answer(stream, registry);
+        let _ = answer(stream, registry, None);
         served += 1;
     }
 }
 
-fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+fn answer(
+    mut stream: TcpStream,
+    registry: &Registry,
+    window: Option<&HistogramWindow>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
     // Read the request head (or as much of it as arrives promptly).
     let mut buf = [0u8; 2048];
@@ -58,9 +64,15 @@ fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("/metrics");
     let (body, content_type) = if path.ends_with(".json") {
-        (registry.to_json(), "application/json")
+        (
+            registry.to_json_value_windowed(window).to_string(),
+            "application/json",
+        )
     } else {
-        (registry.to_prometheus(), "text/plain; version=0.0.4")
+        (
+            registry.to_prometheus_windowed(window),
+            "text/plain; version=0.0.4",
+        )
     };
     let response = format!(
         "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -75,6 +87,7 @@ pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl MetricsServer {
@@ -82,10 +95,56 @@ impl MetricsServer {
     /// serves `registry` from a background thread until
     /// [`shutdown`](MetricsServer::shutdown) or drop.
     pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        MetricsServer::bind_inner(addr, registry, None)
+    }
+
+    /// Like [`bind`](MetricsServer::bind), additionally running a
+    /// background ticker over `window` (at the window's own cadence) so
+    /// both exporters report sliding-interval `recent` percentiles next
+    /// to the lifetime numbers.
+    pub fn bind_windowed(
+        addr: &str,
+        registry: Registry,
+        window: HistogramWindow,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::bind_inner(addr, registry, Some(Arc::new(window)))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        registry: Registry,
+        window: Option<Arc<HistogramWindow>>,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let ticker = match &window {
+            None => None,
+            Some(w) => {
+                let w = Arc::clone(w);
+                let stop = Arc::clone(&stop);
+                Some(
+                    std::thread::Builder::new()
+                        .name("ss-obs-window".into())
+                        .spawn(move || {
+                            // Baseline immediately so `recent` starts
+                            // reporting after one interval, not two.
+                            w.tick();
+                            let step = Duration::from_millis(25);
+                            let mut since_tick = Duration::ZERO;
+                            while !stop.load(Ordering::Acquire) {
+                                std::thread::sleep(step.min(w.tick_every()));
+                                since_tick += step;
+                                if since_tick >= w.tick_every() {
+                                    w.tick();
+                                    since_tick = Duration::ZERO;
+                                }
+                            }
+                        })?,
+                )
+            }
+        };
         let handle = std::thread::Builder::new()
             .name("ss-obs-metrics".into())
             .spawn(move || loop {
@@ -94,7 +153,7 @@ impl MetricsServer {
                         if stop2.load(Ordering::Acquire) {
                             return;
                         }
-                        let _ = answer(stream, &registry);
+                        let _ = answer(stream, &registry, window.as_deref());
                     }
                     Err(_) => return,
                 }
@@ -103,6 +162,7 @@ impl MetricsServer {
             addr: local,
             stop,
             handle: Some(handle),
+            ticker,
         })
     }
 
@@ -123,6 +183,9 @@ impl MetricsServer {
             let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
         }
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
+        }
     }
 }
 
@@ -136,6 +199,7 @@ impl Drop for MetricsServer {
 mod tests {
     use super::*;
     use crate::json;
+    use crate::window::HistogramWindow;
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -170,6 +234,30 @@ mod tests {
                 .as_u64(),
             Some(11)
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn windowed_server_attaches_recent_views() {
+        let r = Registry::new();
+        let h = r.histogram("x.request_ns");
+        for _ in 0..20 {
+            h.record(1 << 20);
+        }
+        let w = HistogramWindow::new(r.clone(), Duration::from_millis(30), 2);
+        let server = MetricsServer::bind_windowed("127.0.0.1:0", r.clone(), w).unwrap();
+        let addr = server.local_addr();
+        // The ticker baselines at start; after one interval the heavy
+        // pre-start samples are outside the window.
+        std::thread::sleep(Duration::from_millis(100));
+        let json_resp = get(addr, "/metrics.json");
+        let body = json_resp.split("\r\n\r\n").nth(1).unwrap();
+        let v = json::parse(body).unwrap();
+        let hv = v.get("histograms").unwrap().get("x.request_ns").unwrap();
+        let recent = hv.get("recent").expect("recent view attached");
+        assert!(recent.get("count").unwrap().as_u64().unwrap() <= 20);
+        assert!(v.get("recent_window_s").is_some());
+        assert!(get(addr, "/metrics").contains("ss_x_request_ns_recent_p99"));
         server.shutdown();
     }
 

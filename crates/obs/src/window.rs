@@ -1,0 +1,145 @@
+//! Sliding-interval histogram windows for "recent p50/p99" readouts.
+//!
+//! Lifetime histograms answer "how has this process behaved since
+//! start"; a long-running server also needs "how is it behaving *now*".
+//! A [`HistogramWindow`] keeps, per histogram name, a short queue of
+//! baseline snapshots taken every [`tick`](HistogramWindow::tick); the
+//! **recent** view of a histogram is [`delta_since`] the oldest retained
+//! baseline — i.e. the samples of roughly the last `depth × tick
+//! interval` of wall clock. The exporters in [`crate::registry`] attach
+//! the recent view next to the lifetime numbers.
+//!
+//! [`delta_since`]: crate::HistogramSnapshot::delta_since
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::Registry;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Rolling baselines over every histogram of one registry.
+pub struct HistogramWindow {
+    registry: Registry,
+    tick_every: Duration,
+    depth: usize,
+    baselines: Mutex<BTreeMap<String, VecDeque<HistogramSnapshot>>>,
+}
+
+impl HistogramWindow {
+    /// A window over `registry` spanning `depth` ticks of `tick_every`
+    /// each (`depth` is clamped to at least 1). The caller drives
+    /// [`tick`](HistogramWindow::tick) — typically a background thread,
+    /// see [`MetricsServer::bind_windowed`](crate::MetricsServer::bind_windowed).
+    pub fn new(registry: Registry, tick_every: Duration, depth: usize) -> HistogramWindow {
+        HistogramWindow {
+            registry,
+            tick_every,
+            depth: depth.max(1),
+            baselines: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The cadence [`tick`](HistogramWindow::tick) is meant to run at.
+    pub fn tick_every(&self) -> Duration {
+        self.tick_every
+    }
+
+    /// The window span (`depth × tick_every`) in seconds.
+    pub fn span_secs(&self) -> f64 {
+        self.tick_every.as_secs_f64() * self.depth as f64
+    }
+
+    /// Takes a baseline of every histogram currently registered and
+    /// drops baselines older than the window depth.
+    pub fn tick(&self) {
+        let snaps = self.registry.histogram_snapshots();
+        let mut baselines = self.baselines.lock().unwrap();
+        for (name, snap) in snaps {
+            let q = baselines.entry(name).or_default();
+            q.push_back(snap);
+            while q.len() > self.depth {
+                q.pop_front();
+            }
+        }
+    }
+
+    /// The recent view of histogram `name`: current state minus the
+    /// oldest retained baseline. `None` until the first tick has seen
+    /// the histogram (no baseline — "recent" would equal lifetime and
+    /// mislead).
+    pub fn recent(&self, name: &str) -> Option<HistogramSnapshot> {
+        let current = self.registry.histogram(name).snapshot();
+        self.recent_from(name, &current)
+    }
+
+    /// Like [`recent`](HistogramWindow::recent) with the current
+    /// snapshot supplied by the caller. Touches only the window's own
+    /// lock — safe to call while holding the registry lock (the
+    /// exporters do).
+    pub fn recent_from(
+        &self,
+        name: &str,
+        current: &HistogramSnapshot,
+    ) -> Option<HistogramSnapshot> {
+        let baselines = self.baselines.lock().unwrap();
+        let oldest = baselines.get(name)?.front()?;
+        Some(current.delta_since(oldest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recent_reflects_only_samples_inside_the_window() {
+        let r = Registry::new();
+        let h = r.histogram("w.ns");
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let w = HistogramWindow::new(r.clone(), Duration::from_millis(10), 2);
+        assert!(w.recent("w.ns").is_none(), "no baseline before first tick");
+        w.tick();
+        for _ in 0..10 {
+            h.record(100);
+        }
+        let recent = w.recent("w.ns").unwrap();
+        assert_eq!(recent.count, 10, "pre-window samples excluded");
+        assert!(recent.p99() <= 127, "recent p99 {}", recent.p99());
+        let lifetime = h.snapshot();
+        assert_eq!(lifetime.count, 110);
+        assert!(lifetime.p50() >= 1_000_000 / 2);
+    }
+
+    #[test]
+    fn window_depth_bounds_the_lookback() {
+        let r = Registry::new();
+        let h = r.histogram("w.ns");
+        let w = HistogramWindow::new(r.clone(), Duration::from_millis(10), 2);
+        h.record(1); // tick 0 baseline includes this
+        w.tick();
+        h.record(2);
+        w.tick();
+        h.record(3);
+        w.tick();
+        // Depth 2: oldest retained baseline is tick 1's (count 2), so
+        // recent sees the last two samples only.
+        let recent = w.recent("w.ns").unwrap();
+        assert_eq!(recent.count, 1, "only the post-oldest-baseline sample");
+        w.tick();
+        assert_eq!(w.recent("w.ns").unwrap().count, 0, "traffic stopped");
+    }
+
+    #[test]
+    fn histograms_registered_after_construction_are_picked_up() {
+        let r = Registry::new();
+        let w = HistogramWindow::new(r.clone(), Duration::from_millis(10), 4);
+        w.tick();
+        r.record_ns("late.ns", 42);
+        assert!(w.recent("late.ns").is_none());
+        w.tick();
+        r.record_ns("late.ns", 43);
+        assert_eq!(w.recent("late.ns").unwrap().count, 1);
+    }
+}

@@ -49,6 +49,9 @@ pub fn batch_range_sums<C: CoeffRead>(
 /// the store behind `cs`, so serial and concurrent executions agree bit for
 /// bit.
 pub fn execute_plans<C: CoeffRead>(cs: &mut C, plans: &[Vec<(Vec<usize>, f64)>]) -> Vec<f64> {
+    // Inert unless the calling thread is inside a traced request; the
+    // batch's tile-fetch events then nest under this span.
+    let _trace_span = ss_obs::trace::scoped("query.execute");
     // (tile, slot) -> [(query, weight)], so each coefficient is read once
     // even when several queries share it.
     let mut wanted: HashMap<(usize, usize), Vec<(usize, f64)>> = HashMap::new();

@@ -41,6 +41,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: i128,
+    trace: Option<u64>,
 }
 
 impl Client {
@@ -55,7 +56,16 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
+            trace: None,
         })
+    }
+
+    /// Tags every subsequent request with trace id `trace` (see the
+    /// `trace` protocol field in [`crate::proto`]): a tracing-enabled
+    /// server records the request's spans under that id, an old or
+    /// tracing-off server ignores it. `None` stops tagging.
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
     }
 
     /// Point query at `pos`.
@@ -134,7 +144,11 @@ impl Client {
         let first_id = self.next_id;
         let mut lines = String::new();
         for (k, q) in queries.iter().enumerate() {
-            lines.push_str(&proto::op_request_line(first_id + k as i128, q));
+            lines.push_str(&proto::op_request_line_traced(
+                first_id + k as i128,
+                q,
+                self.trace,
+            ));
             lines.push('\n');
         }
         self.next_id += queries.len() as i128;

@@ -74,6 +74,28 @@ mod tests {
         shared
     }
 
+    /// Unwraps the store `Arc` once the server has let go of it. The
+    /// per-connection reader threads are detached and hold a clone of
+    /// the server state (and through it, the store) until the client's
+    /// socket EOF wakes them — briefly *after* `shutdown()` returns and
+    /// the client is dropped, so the unwrap must wait them out.
+    fn unwrap_store<T>(mut store: Arc<T>) -> T {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match Arc::try_unwrap(store) {
+                Ok(inner) => return inner,
+                Err(shared) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "server threads never released the store"
+                    );
+                    store = shared;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
     fn bind(store: SharedCoeffStore<StandardTiling, ss_storage::MemBlockStore>) -> QueryServer {
         QueryServer::bind(
             "127.0.0.1:0",
@@ -83,6 +105,7 @@ mod tests {
                 workers: 3,
                 batch_max: 16,
                 max_requests: None,
+                slow_ns: None,
             },
         )
         .unwrap()
@@ -190,6 +213,7 @@ mod tests {
                 workers: 3,
                 batch_max: 16,
                 max_requests: None,
+                slow_ns: None,
             },
         )
         .unwrap();
@@ -225,7 +249,108 @@ mod tests {
         assert!(err.to_string().contains("bad_request"), "{err}");
         server.shutdown();
         drop(client);
-        let store = Arc::into_inner(store).expect("server dropped its handle");
+        let store = unwrap_store(store);
+        let (_map, _store) = store.into_parts().unwrap();
+    }
+
+    #[test]
+    fn traced_requests_record_matched_spans_and_epoch_tagged_commits() {
+        use ss_maintain::SnapshotCoeffStore;
+        use ss_obs::{trace, TraceEventKind};
+        use std::collections::HashMap;
+
+        // The global tracer is shared across tests in this process;
+        // ring mode only records, so enabling it never disturbs the
+        // other servers' answers, and all assertions below filter by
+        // this test's own trace ids.
+        trace::tracer().enable_ring();
+        let a = test_data(32);
+        let store = Arc::new(SnapshotCoeffStore::new(shared_store(&a, 5), None, 0));
+        let server = QueryServer::bind_writable(
+            "127.0.0.1:0",
+            Arc::clone(&store),
+            vec![5, 5],
+            ss_maintain::FlushMode::Exact,
+            ServeConfig {
+                workers: 2,
+                batch_max: 16,
+                max_requests: None,
+                slow_ns: None,
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let query_trace = trace::new_trace_id();
+        client.set_trace(Some(query_trace));
+        let got = client.point(&[3, 9]).unwrap();
+        assert!((got - a.get(&[3, 9])).abs() < 1e-9);
+
+        let update_trace = trace::new_trace_id();
+        client.set_trace(Some(update_trace));
+        client.update(&[4, 5], &[1, 1], &[2.0]).unwrap();
+        assert_eq!(client.commit().unwrap(), 1.0);
+        server.shutdown();
+
+        let events = trace::tracer().events();
+        let of = |t: u64| -> Vec<&trace::TraceEvent> {
+            events.iter().filter(|e| e.trace == t).collect()
+        };
+
+        // Query trace: a parented span tree request -> plan/exec, with
+        // every begun span ended, and its tile reads attributed to it.
+        let q = of(query_trace);
+        let mut begun: HashMap<u64, &'static str> = HashMap::new();
+        let mut ended: HashMap<u64, &'static str> = HashMap::new();
+        for e in &q {
+            match e.kind {
+                TraceEventKind::SpanBegin { name } => {
+                    begun.insert(e.span, name);
+                }
+                TraceEventKind::SpanEnd { name, .. } => {
+                    ended.insert(e.span, name);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(begun, ended, "every begun span must end, and vice versa");
+        let names: Vec<&str> = begun.values().copied().collect();
+        for want in ["serve.request", "serve.plan", "serve.exec", "query.execute"] {
+            assert!(names.contains(&want), "missing span {want} in {names:?}");
+        }
+        let (root_span, _) = begun
+            .iter()
+            .find(|(_, n)| **n == "serve.request")
+            .expect("root span");
+        let plan = q
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::SpanBegin { name: "serve.plan" }))
+            .expect("plan span");
+        assert_eq!(plan.parent, *root_span, "plan parents under the request");
+        assert!(
+            q.iter()
+                .any(|e| matches!(e.kind, TraceEventKind::TileFetch { .. })),
+            "tile fetches carry the request's trace id"
+        );
+
+        // Update trace: update + commit spans, and the pipeline events
+        // (WAL-less here, so just the publish) tagged with epoch 1.
+        let u = of(update_trace);
+        for want in ["serve.update", "serve.commit"] {
+            assert!(
+                u.iter()
+                    .any(|e| matches!(e.kind, TraceEventKind::SpanBegin { name } if name == want)),
+                "missing span {want}"
+            );
+        }
+        assert!(
+            u.iter()
+                .any(|e| matches!(e.kind, TraceEventKind::Commit { epoch: 1, tiles } if tiles > 0)),
+            "commit event must carry its epoch"
+        );
+
+        drop(client);
+        let store = unwrap_store(store);
         let (_map, _store) = store.into_parts().unwrap();
     }
 
@@ -255,6 +380,7 @@ mod tests {
                 workers: 2,
                 batch_max: 8,
                 max_requests: Some(5),
+                slow_ns: None,
             },
         )
         .unwrap();

@@ -41,6 +41,23 @@
 //! (unrecognised `op`), `bad_request` (wrong arity or out-of-range
 //! coordinates), `read_only` (mutation sent to a read-only server), `io`
 //! (a commit failed to reach the write-ahead log).
+//!
+//! # Tracing (`trace` field)
+//!
+//! Any request may carry an **optional** `trace` field — a positive
+//! integer trace id:
+//!
+//! ```json
+//! {"id": 7, "op": "point", "pos": [3, 9], "trace": 401}
+//! ```
+//!
+//! A tracing-enabled server records the request's spans and tile
+//! fetches under that id (see `ss_obs::trace`) and echoes `trace` in
+//! the success response. The field is **optional and
+//! ignored-by-old-servers**: servers predating it (and servers with
+//! tracing off) simply don't inspect unknown fields, so old and new
+//! clients interoperate freely; anything other than a positive integer
+//! is treated as absent rather than rejected, for the same reason.
 
 use ss_obs::json::{self, Value};
 
@@ -182,6 +199,9 @@ pub struct Request {
     pub id: Option<i128>,
     /// The requested operation.
     pub op: Op,
+    /// Client-supplied trace id (positive; anything else parses as
+    /// `None`). Echoed in the success response when honoured.
+    pub trace: Option<u64>,
 }
 
 /// Why a request line was rejected, with the id (when one could still be
@@ -254,6 +274,12 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             return Err(RequestError::new(id, "parse", "missing string field op"));
         }
     };
+    // Lenient by design (see the module docs): a malformed trace id
+    // degrades to "untraced", it never fails the request.
+    let trace = match v.get("trace") {
+        Some(Value::Int(t)) if *t > 0 => u64::try_from(*t).ok(),
+        _ => None,
+    };
     let field = |name: &str| -> Result<Vec<usize>, RequestError> {
         let raw = v
             .get(name)
@@ -287,7 +313,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             ));
         }
     };
-    Ok(Request { id, op })
+    Ok(Request { id, op, trace })
 }
 
 fn id_value(id: Option<i128>) -> Value {
@@ -304,6 +330,12 @@ pub fn request_line(id: i128, query: &Query) -> String {
 
 /// Renders a request line for any operation with id `id` (the client side).
 pub fn op_request_line(id: i128, op: &Op) -> String {
+    op_request_line_traced(id, op, None)
+}
+
+/// Renders a request line carrying an optional `trace` id (the client
+/// side; see the module docs on the `trace` field).
+pub fn op_request_line_traced(id: i128, op: &Op, trace: Option<u64>) -> String {
     let name = match op {
         Op::Query(q) => q.op(),
         Op::Mutation(Mutation::Update { .. }) => "update",
@@ -330,17 +362,28 @@ pub fn op_request_line(id: i128, op: &Op) -> String {
         }
         Op::Mutation(Mutation::Commit) => {}
     }
+    if let Some(t) = trace {
+        pairs.push(("trace".into(), Value::from(t)));
+    }
     Value::Object(pairs).to_string()
 }
 
 /// Renders a success response line.
 pub fn ok_response(id: Option<i128>, value: f64) -> String {
-    Value::Object(vec![
+    ok_response_traced(id, None, value)
+}
+
+/// Renders a success response line echoing the honoured `trace` id.
+pub fn ok_response_traced(id: Option<i128>, trace: Option<u64>, value: f64) -> String {
+    let mut pairs = vec![
         ("id".into(), id_value(id)),
         ("ok".into(), Value::Bool(true)),
         ("value".into(), Value::Float(value)),
-    ])
-    .to_string()
+    ];
+    if let Some(t) = trace {
+        pairs.push(("trace".into(), Value::from(t)));
+    }
+    Value::Object(pairs).to_string()
 }
 
 /// Renders a typed error response line.
@@ -475,6 +518,30 @@ mod tests {
             let back = parse_response(&line).unwrap();
             assert_eq!(back.result, Ok(v), "{line}");
         }
+    }
+
+    #[test]
+    fn trace_field_is_optional_lenient_and_echoed() {
+        // Absent → untraced.
+        let r = parse_request(r#"{"id":1,"op":"commit"}"#).unwrap();
+        assert_eq!(r.trace, None);
+        // A positive integer is honoured and round-trips.
+        let line = op_request_line_traced(5, &Op::Query(Query::Point { pos: vec![1] }), Some(42));
+        let back = parse_request(&line).unwrap();
+        assert_eq!(back.trace, Some(42));
+        assert_eq!(back.id, Some(5));
+        // Anything else degrades to untraced — never a request error
+        // (old servers ignore the field; new ones must not be stricter).
+        for junk in [r#""x""#, "0", "-3", "1.5", "[1]", "null", "true"] {
+            let line = format!(r#"{{"id":1,"op":"commit","trace":{junk}}}"#);
+            let r = parse_request(&line).unwrap_or_else(|e| panic!("{junk}: {e:?}", e = e));
+            assert_eq!(r.trace, None, "trace={junk}");
+        }
+        // The success response echoes the honoured id.
+        let resp = ok_response_traced(Some(7), Some(42), 2.5);
+        assert!(resp.contains(r#""trace":42"#), "{resp}");
+        let back = parse_response(&resp).unwrap();
+        assert_eq!(back.result, Ok(2.5));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 use crate::proto::{self, Mutation, Op, Request, RequestError};
 use ss_core::TilingMap;
 use ss_maintain::{DeltaBuffer, FlushMode, SnapshotCoeffStore};
+use ss_obs::trace::{self, SpanCtx, TraceEventKind};
 use ss_obs::{Counter, Histogram};
 use ss_storage::{BlockStore, SharedCoeffStore};
 use std::collections::VecDeque;
@@ -84,6 +85,10 @@ pub struct ServeConfig {
     pub batch_max: usize,
     /// Stop after this many responses (`None` = serve forever).
     pub max_requests: Option<u64>,
+    /// Requests at or above this duration hit the slow-request log (a
+    /// structured stderr line plus, when tracing is on, a
+    /// `slow_request` trace event). `None` disables the log.
+    pub slow_ns: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +97,7 @@ impl Default for ServeConfig {
             workers: 4,
             batch_max: 64,
             max_requests: None,
+            slow_ns: None,
         }
     }
 }
@@ -102,6 +108,17 @@ struct Job {
     plan: Vec<(Vec<usize>, f64)>,
     reply: Arc<ReplyLine>,
     enqueued: Instant,
+    /// The request's root trace span (inert when untraced), opened on
+    /// the connection reader and closed after the reply is sent.
+    root: SpanCtx,
+}
+
+/// The per-request part of a [`Job`] that survives into the answer path.
+struct Route {
+    id: Option<i128>,
+    reply: Arc<ReplyLine>,
+    enqueued: Instant,
+    root: SpanCtx,
 }
 
 /// Type-erased mutation sink, so [`State`] stays non-generic. `Ok`
@@ -154,6 +171,7 @@ where
 struct Metrics {
     requests_ok: Counter,
     requests_err: Counter,
+    requests_slow: Counter,
     batches: Counter,
     request_ns: Histogram,
     batch_size: Histogram,
@@ -165,6 +183,7 @@ impl Metrics {
         Metrics {
             requests_ok: r.counter("serve.requests_ok"),
             requests_err: r.counter("serve.requests_err"),
+            requests_slow: r.counter("serve.requests_slow"),
             batches: r.counter("serve.batches"),
             request_ns: r.histogram("serve.request_ns"),
             batch_size: r.histogram("serve.batch_size"),
@@ -184,11 +203,40 @@ struct State {
     dims: Vec<usize>,
     batch_max: usize,
     metrics: Metrics,
+    slow_ns: Option<u64>,
     /// `Some` on writable servers; `None` rejects mutations as `read_only`.
     mutator: Option<Arc<dyn Mutator>>,
 }
 
 impl State {
+    /// The slow-request log: fires only at/above the configured
+    /// threshold — a structured stderr line, a counter, and (when
+    /// tracing is on) a `slow_request` event tied to the request's span.
+    fn observe_slow(&self, id: Option<i128>, root: &SpanCtx, dur_ns: u64) {
+        let Some(threshold_ns) = self.slow_ns else {
+            return;
+        };
+        if dur_ns < threshold_ns {
+            return;
+        }
+        self.metrics.requests_slow.inc();
+        trace::tracer().event_for(
+            root.trace,
+            root.span,
+            TraceEventKind::SlowRequest {
+                dur_ns,
+                threshold_ns,
+            },
+        );
+        eprintln!(
+            "slow_request id={} trace={} dur_ms={:.3} threshold_ms={:.3}",
+            id.map_or_else(|| "-".to_string(), |i| i.to_string()),
+            root.trace,
+            dur_ns as f64 / 1e6,
+            threshold_ns as f64 / 1e6,
+        );
+    }
+
     /// Counts one written response; reaching the budget triggers stop.
     fn count_reply(&self) {
         let n = self.answered.fetch_add(1, Ordering::AcqRel) + 1;
@@ -370,6 +418,7 @@ fn make_state(
         dims,
         batch_max: config.batch_max,
         metrics: Metrics::resolve(),
+        slow_ns: config.slow_ns,
         mutator,
     });
     Ok((listener, state))
@@ -429,12 +478,21 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
             Ok(Request {
                 id,
                 op: Op::Query(query),
+                trace: trace_id,
             }) => {
+                let root = trace::begin_span(request_trace_id(trace_id), 0, "serve.request");
+                let plan = {
+                    let plan_span = trace::begin_span(root.trace, root.span, "serve.plan");
+                    let plan = query.plan(&state.levels);
+                    trace::end_span(plan_span);
+                    plan
+                };
                 let job = Job {
                     id,
-                    plan: query.plan(&state.levels),
+                    plan,
                     reply: Arc::clone(&reply),
                     enqueued: Instant::now(),
+                    root,
                 };
                 let mut queue = state.queue.lock().unwrap();
                 queue.push_back(job);
@@ -448,37 +506,61 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
             Ok(Request {
                 id,
                 op: Op::Mutation(m),
+                trace: trace_id,
             }) => {
+                let root = trace::begin_span(request_trace_id(trace_id), 0, "serve.request");
                 let started = Instant::now();
-                let outcome = match state.mutator.as_deref() {
-                    None => Err((
-                        "read_only",
-                        "this server is read-only (start it writable to accept mutations)"
-                            .to_string(),
-                    )),
-                    Some(mutator) => match m {
-                        Mutation::Update { at, dims, data } => mutator.update(&at, &dims, data),
-                        Mutation::Commit => mutator.commit(),
-                    },
+                let outcome = {
+                    // The thread-local context makes the WAL / commit /
+                    // tile-fetch events of this mutation attach to it.
+                    let _in_span = trace::enter(root);
+                    match state.mutator.as_deref() {
+                        None => Err((
+                            "read_only",
+                            "this server is read-only (start it writable to accept mutations)"
+                                .to_string(),
+                        )),
+                        Some(mutator) => match m {
+                            Mutation::Update { at, dims, data } => {
+                                let _s = trace::scoped("serve.update");
+                                mutator.update(&at, &dims, data)
+                            }
+                            Mutation::Commit => {
+                                let _s = trace::scoped("serve.commit");
+                                mutator.commit()
+                            }
+                        },
+                    }
                 };
+                let dur_ns = started.elapsed().as_nanos() as u64;
                 match outcome {
                     Ok(value) => {
                         state.metrics.requests_ok.inc();
-                        state
-                            .metrics
-                            .request_ns
-                            .record(started.elapsed().as_nanos() as u64);
-                        reply.send(&proto::ok_response(id, value));
+                        state.metrics.request_ns.record(dur_ns);
+                        let echo = root.active().then_some(root.trace);
+                        reply.send(&proto::ok_response_traced(id, echo, value));
                     }
                     Err((kind, message)) => {
                         state.metrics.requests_err.inc();
                         reply.send(&proto::err_response(id, kind, &message));
                     }
                 }
+                state.observe_slow(id, &root, dur_ns);
+                trace::end_span(root);
                 state.count_reply();
             }
         }
     }
+}
+
+/// The trace id a request runs under: the client's, else a fresh one
+/// when tracing is on, else 0 (untraced — every recording call becomes
+/// one relaxed load).
+fn request_trace_id(client: Option<u64>) -> u64 {
+    if !trace::enabled() {
+        return 0;
+    }
+    client.unwrap_or_else(trace::new_trace_id)
 }
 
 fn parse_and_validate(line: &str, dims: &[usize]) -> Result<Request, RequestError> {
@@ -519,14 +601,14 @@ where
             let n = state.batch_max.min(queue.len());
             queue.drain(..n).collect()
         };
-        let mut plans = Vec::with_capacity(batch.len());
-        let mut routes = Vec::with_capacity(batch.len());
-        for job in batch {
-            plans.push(job.plan);
-            routes.push((job.id, job.reply, job.enqueued));
-        }
-        let mut handle: &SharedCoeffStore<M, S> = store;
-        let values = ss_query::execute_plans(&mut handle, &plans);
+        let (plans, routes) = split_batch(batch);
+        let exec = batch_exec_span(&routes);
+        let values = {
+            let _in_span = trace::enter(exec);
+            let mut handle: &SharedCoeffStore<M, S> = store;
+            ss_query::execute_plans(&mut handle, &plans)
+        };
+        trace::end_span(exec);
         answer_batch(state, routes, values);
     }
 }
@@ -554,35 +636,63 @@ where
             let n = state.batch_max.min(queue.len());
             queue.drain(..n).collect()
         };
-        let mut plans = Vec::with_capacity(batch.len());
-        let mut routes = Vec::with_capacity(batch.len());
-        for job in batch {
-            plans.push(job.plan);
-            routes.push((job.id, job.reply, job.enqueued));
-        }
-        let pin = store.pin();
-        let mut handle = &pin;
-        let values = ss_query::execute_plans(&mut handle, &plans);
-        drop(pin);
+        let (plans, routes) = split_batch(batch);
+        let exec = batch_exec_span(&routes);
+        let values = {
+            let _in_span = trace::enter(exec);
+            let pin = store.pin();
+            let mut handle = &pin;
+            let values = ss_query::execute_plans(&mut handle, &plans);
+            drop(pin);
+            values
+        };
+        trace::end_span(exec);
         answer_batch(state, routes, values);
     }
 }
 
 #[allow(clippy::type_complexity)]
-fn answer_batch(
-    state: &State,
-    routes: Vec<(Option<i128>, Arc<ReplyLine>, Instant)>,
-    values: Vec<f64>,
-) {
+fn split_batch(batch: Vec<Job>) -> (Vec<Vec<(Vec<usize>, f64)>>, Vec<Route>) {
+    let mut plans = Vec::with_capacity(batch.len());
+    let mut routes = Vec::with_capacity(batch.len());
+    for job in batch {
+        plans.push(job.plan);
+        routes.push(Route {
+            id: job.id,
+            reply: job.reply,
+            enqueued: job.enqueued,
+            root: job.root,
+        });
+    }
+    (plans, routes)
+}
+
+/// The `serve.exec` span covering one tile-major sweep, parented under
+/// the batch's **first traced** request: tile fetches are shared across
+/// the batch, so they are attributed to that request's tree (a
+/// documented approximation — see DESIGN.md §13).
+fn batch_exec_span(routes: &[Route]) -> SpanCtx {
+    routes
+        .iter()
+        .map(|r| r.root)
+        .find(SpanCtx::active)
+        .map(|p| trace::begin_span(p.trace, p.span, "serve.exec"))
+        .unwrap_or_else(SpanCtx::none)
+}
+
+fn answer_batch(state: &State, routes: Vec<Route>, values: Vec<f64>) {
     state.metrics.batches.inc();
     state.metrics.batch_size.record(routes.len() as u64);
-    for ((id, reply, enqueued), value) in routes.into_iter().zip(values) {
-        state
-            .metrics
-            .request_ns
-            .record(enqueued.elapsed().as_nanos() as u64);
+    for (route, value) in routes.into_iter().zip(values) {
+        let dur_ns = route.enqueued.elapsed().as_nanos() as u64;
+        state.metrics.request_ns.record(dur_ns);
         state.metrics.requests_ok.inc();
-        reply.send(&proto::ok_response(id, value));
+        let echo = route.root.active().then_some(route.root.trace);
+        route
+            .reply
+            .send(&proto::ok_response_traced(route.id, echo, value));
+        state.observe_slow(route.id, &route.root, dur_ns);
+        trace::end_span(route.root);
         state.count_reply();
     }
 }

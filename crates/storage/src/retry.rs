@@ -124,6 +124,10 @@ impl<S: BlockStore> RetryingBlockStore<S> {
                     let backoff = self.policy.backoff(retry);
                     self.backoff_ns.record(backoff.as_nanos() as u64);
                     self.retries.inc();
+                    ss_obs::trace::event(ss_obs::TraceEventKind::Retry {
+                        block: block as u64,
+                        attempt: (retry + 1) as u64,
+                    });
                     std::thread::sleep(backoff);
                     retry += 1;
                 }
@@ -184,6 +188,10 @@ impl<S: BlockStore> BlockStore for RetryingBlockStore<S> {
                     let backoff = self.policy.backoff(retry);
                     self.backoff_ns.record(backoff.as_nanos() as u64);
                     self.retries.inc();
+                    ss_obs::trace::event(ss_obs::TraceEventKind::Retry {
+                        block: id as u64,
+                        attempt: (retry + 1) as u64,
+                    });
                     std::thread::sleep(backoff);
                     retry += 1;
                 }

@@ -254,6 +254,10 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             if shard.frames.contains_key(&id) {
                 shard.counters.hits += 1;
                 self.stats.add_pool_hits(1);
+                ss_obs::trace::event(ss_obs::TraceEventKind::TileFetch {
+                    tile: id as u64,
+                    hit: true,
+                });
                 break;
             }
             if shard.busy.contains(&id) {
@@ -266,6 +270,10 @@ impl<S: BlockStore> ShardedBufferPool<S> {
             // mark every id with in-flight I/O busy, then drop the lock.
             shard.counters.misses += 1;
             self.stats.add_pool_misses(1);
+            ss_obs::trace::event(ss_obs::TraceEventKind::TileFetch {
+                tile: id as u64,
+                hit: false,
+            });
             let mut victims: Vec<(usize, Frame)> = Vec::new();
             while shard.frames.len() + 1 > self.shard_budget && !shard.frames.is_empty() {
                 let vid = shard

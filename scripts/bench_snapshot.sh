@@ -4,9 +4,10 @@
 # BENCH_serve.json for the concurrent query server (the exp_serve
 # workers × clients sweep, as ss-exp-v1 JSONL rows), BENCH_update.json
 # for the coalesced maintenance engine (the exp_update batch × box-size ×
-# form sweep, same row format) and BENCH_rw.json for the live read/write
+# form sweep, same row format), BENCH_rw.json for the live read/write
 # server (the exp_rw readers × writers sweep over the MVCC snapshot
-# store, same row format).
+# store, same row format) and BENCH_trace.json for the tracing layer
+# (the exp_trace off/ring/export overhead sweep, same row format).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
@@ -61,3 +62,10 @@ SS_EXP_JSON="$rw_out.tmp" cargo run --release -q -p ss-bench --bin exp_rw
 ./scripts/check_metrics_schema rows "$rw_out.tmp"
 mv "$rw_out.tmp" "$rw_out"
 echo "wrote $rw_out"
+
+trace_out="${5:-BENCH_trace.json}"
+rm -f "$trace_out.tmp"
+SS_EXP_JSON="$trace_out.tmp" cargo run --release -q -p ss-bench --bin exp_trace
+./scripts/check_metrics_schema rows "$trace_out.tmp"
+mv "$trace_out.tmp" "$trace_out"
+echo "wrote $trace_out"
