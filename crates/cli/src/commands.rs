@@ -3,9 +3,9 @@
 use crate::args::{parse_list, parse_list_u32, Args};
 use crate::csv;
 use crate::metrics;
-use crate::wsfile::{Meta, WsFile};
+use crate::wsfile::{convert_to_v3, Meta, WsFile};
 use ss_array::NdArray;
-use ss_core::TilingMap;
+use ss_core::{RetentionPolicy, TilingMap};
 use ss_storage::{FaultConfig, FaultInjectingBlockStore, RetryPolicy, RetryingBlockStore};
 use ss_transform::ArraySource;
 use std::path::Path;
@@ -120,8 +120,69 @@ pub fn create(args: &Args) -> Result<(), String> {
     metrics::emit_quiet(args, Some(&ws.stats))
 }
 
+/// Parses `--format [v2|v3] [--threshold ε | --topk K]` into the
+/// retention policy for a v3 conversion; `Ok(None)` means stay dense
+/// (v2, the default).
+fn v3_flags(args: &Args) -> Result<Option<RetentionPolicy>, String> {
+    let format = args.flag_opt("format").unwrap_or("v2");
+    let threshold = args.flag_opt("threshold");
+    let topk = args.flag_opt("topk");
+    match format {
+        "v2" => {
+            if threshold.is_some() || topk.is_some() {
+                return Err("--threshold/--topk require --format v3".into());
+            }
+            Ok(None)
+        }
+        "v3" => match (threshold, topk) {
+            (Some(_), Some(_)) => Err("--threshold and --topk are mutually exclusive".into()),
+            (Some(t), None) => {
+                let eps: f64 = t.parse().map_err(|e| format!("bad --threshold: {e}"))?;
+                if eps.is_nan() || eps < 0.0 {
+                    return Err("--threshold must be a number >= 0".into());
+                }
+                Ok(Some(RetentionPolicy::Threshold(eps)))
+            }
+            (None, Some(k)) => {
+                let k: usize = k.parse().map_err(|e| format!("bad --topk: {e}"))?;
+                Ok(Some(RetentionPolicy::TopK(k)))
+            }
+            (None, None) => Ok(Some(RetentionPolicy::Keep)),
+        },
+        other => Err(format!("bad --format: {other} (v2|v3)")),
+    }
+}
+
+/// Rewrites the freshly ingested dense store at `path` into the sparse
+/// v3 layout under `policy`, printing the compression ratio and the
+/// *achieved* (not just requested) retention error (docs/ERROR_MODEL.md).
+fn run_v3_conversion(path: &Path, policy: RetentionPolicy) -> Result<(), String> {
+    let report = convert_to_v3(path, policy)?;
+    let r = report.retention;
+    println!(
+        "converted to sparse v3: {} -> {} bytes on disk ({:.2}x), \
+         kept {} / dropped {} non-zero coefficients",
+        report.dense_bytes,
+        report.sparse_bytes,
+        report.dense_bytes as f64 / report.sparse_bytes.max(1) as f64,
+        r.kept,
+        r.dropped,
+    );
+    if policy.lossless() {
+        println!("retention: lossless (bit-identical to the dense store)");
+    } else {
+        println!(
+            "retention: achieved L2 error {:.6e}, max dropped coefficient {:.6e}",
+            r.l2_error(),
+            r.max_dropped
+        );
+    }
+    Ok(())
+}
+
 /// `ingest <store> --data values.csv [--chunk a,b,…] [--workers N]
 /// [--coalesce N [--mode exact|merged]]
+/// [--format v3 [--threshold ε | --topk K]]
 /// [--fault-read P] [--fault-write P] [--fault-seed S] [--retries N]
 /// [--metrics-out FILE] [--metrics-port N]`
 ///
@@ -129,13 +190,27 @@ pub fn create(args: &Args) -> Result<(), String> {
 /// chunks tile-major and group-commits them together (N = 0 buffers the
 /// whole ingest), writing split-path tiles once per group instead of once
 /// per chunk; it composes with neither `--workers` nor fault injection.
+///
+/// `--format v3` rewrites the store into the sparse bucketed layout of
+/// `docs/FORMAT.md` §8 after the transform completes, optionally applying
+/// a lossy retention pass (`--threshold ε` zeroes coefficients with
+/// `|c| <= ε`; `--topk K` keeps the K largest per tile) and reporting the
+/// achieved error.
 pub fn ingest(args: &Args) -> Result<(), String> {
     // Held for the duration of the transform so a scraper can watch the
     // phase histograms fill in live.
     let _server = metrics::maybe_serve(args)?;
     let path = args.pos(0, "store path")?;
+    let v3_policy = v3_flags(args)?;
     let mut ws = WsFile::open(Path::new(path))?;
     check_writable(&ws, "ingest")?;
+    if ws.sparse() {
+        return Err(
+            "cannot ingest into a sparse v3 store: create a fresh store and \
+             ingest with --format v3 to rebuild it"
+                .into(),
+        );
+    }
     let dims = ws.meta.dims();
     let data = csv::read_array(Path::new(args.flag("data")?), &dims)?;
     let chunk_levels: Vec<u32> = match args.flag_opt("chunk") {
@@ -174,7 +249,12 @@ pub fn ingest(args: &Args) -> Result<(), String> {
             report.flush.tiles_written,
             report.flush.coalescing_ratio()
         );
-        return metrics::emit(args, &ws.stats);
+        let stats = ws.stats.clone();
+        drop(ws);
+        if let Some(policy) = v3_policy {
+            run_v3_conversion(Path::new(path), policy)?;
+        }
+        return metrics::emit(args, &stats);
     }
     let (mut ws, report) = match (faults, workers) {
         (Some((cfg, policy)), workers) => {
@@ -246,7 +326,12 @@ pub fn ingest(args: &Args) -> Result<(), String> {
         "ingested {} cells in {} chunks",
         report.input_coeffs, report.chunks
     );
-    metrics::emit(args, &ws.stats)
+    let stats = ws.stats.clone();
+    drop(ws);
+    if let Some(policy) = v3_policy {
+        run_v3_conversion(Path::new(path), policy)?;
+    }
+    metrics::emit(args, &stats)
 }
 
 /// `point <store> i,j,…`
@@ -438,6 +523,14 @@ pub fn append(args: &Args) -> Result<(), String> {
     }
     let ws = WsFile::open(Path::new(path))?;
     check_writable(&ws, "append")?;
+    if ws.sparse() {
+        return Err(
+            "cannot append: sparse v3 stores do not support domain expansion \
+             (docs/FORMAT.md §8.6); re-ingest the grown dataset into a fresh \
+             store with --format v3"
+                .into(),
+        );
+    }
     let meta = ws.meta.clone();
     drop(ws);
     let mut dims = meta.dims();
@@ -585,9 +678,20 @@ pub fn stats(args: &Args) -> Result<(), String> {
         return stats_watch(args, addr);
     }
     let path = args.pos(0, "store path")?;
-    let ws = WsFile::open(Path::new(path))?;
+    let mut ws = WsFile::open(Path::new(path))?;
     let map = ws.meta.tiling();
     println!("store   : {path}");
+    println!(
+        "format  : v{}{}",
+        ws.meta.version,
+        if ws.sparse() {
+            " (sparse bucketed)"
+        } else if ws.read_only() {
+            " (legacy, read-only)"
+        } else {
+            " (dense)"
+        }
+    );
     println!(
         "domain  : {:?} (levels {:?})",
         ws.meta.dims(),
@@ -604,10 +708,19 @@ pub fn stats(args: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
     );
     println!("append  : axis {}, filled {}", ws.meta.axis, ws.meta.filled);
-    println!(
-        "on disk : {} bytes",
-        std::fs::metadata(ws.path()).map(|m| m.len()).unwrap_or(0)
-    );
+    let disk = std::fs::metadata(ws.path()).map(|m| m.len()).unwrap_or(0);
+    println!("on disk : {disk} bytes");
+    if let Some(live) = ws.store.pool().store_mut().sparse_live_bytes() {
+        let dense = (map.num_tiles() * map.block_capacity() * 8) as u64;
+        let overhead = ss_storage::sparse::V3_HEADER_LEN
+            + map.num_tiles() as u64 * ss_storage::sparse::V3_DIR_ENTRY_LEN;
+        println!(
+            "sparse  : {live} live payload bytes, {overhead} header/directory, \
+             {} relocation garbage; dense equivalent {dense} bytes ({:.2}x saved)",
+            disk.saturating_sub(live).saturating_sub(overhead),
+            dense as f64 / disk.max(1) as f64
+        );
+    }
     metrics::emit_quiet(args, Some(&ws.stats))
 }
 

@@ -35,10 +35,16 @@ USAGE:
 COMMANDS:
   create  <store> --levels a,b,…   create an empty store (log2 sizes)
   ingest  <store> --data FILE [--workers N] [--coalesce N]
+          [--format v3 [--threshold E | --topk K]]
           transform a full dataset into the store
           (--workers 0 = one worker per core; omit for the serial driver;
           --coalesce N group-commits every N chunks through the tile-major
-          delta buffer, 0 = one flush for the whole ingest)
+          delta buffer, 0 = one flush for the whole ingest;
+          --format v3 rewrites the result into the sparse bucketed layout
+          of docs/FORMAT.md §8 — bytes on disk shrink with the data's
+          sparsity; --threshold E zeroes coefficients with |c| <= E and
+          --topk K keeps the K largest per tile, both reporting the
+          achieved reconstruction error, see docs/ERROR_MODEL.md)
   point   <store> i,j,…            query one cell
   sum     <store> --lo … --hi …    range-sum query
   extract <store> --lo … --hi …    reconstruct a region
@@ -49,9 +55,12 @@ COMMANDS:
           dirty tile and one durability flush for the whole batch;
           exact mode is bit-identical to applying the boxes one by one)
   append  <store> --extent N --data FILE        append along the grow axis
+          (dense stores only; v3 stores must be re-ingested to grow)
   scrub   <store>                  verify every block against its CRC-32
-          (exit 0 = intact, 2 = corruption detected)
-  stats   <store>                  show store geometry
+          (exit 0 = intact, 2 = corruption detected; on v3 stores the
+          scrub also checks directory geometry and payload encoding)
+  stats   <store>                  show store geometry and on-disk bytes
+          (v3 stores also report live payload vs. garbage bytes)
   synopsis <store> --k K --out F   export a K-term synopsis blob
   asksyn  <F> --at …|--lo …--hi …  approximate queries from a synopsis
   stream  --data FILE --k K        best-K synopsis of a value stream
@@ -335,6 +344,133 @@ mod tests {
                 assert!((a - b).abs() <= 1e-9, "cell ({i},{j}): {a} vs {b}");
             }
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_ingest_roundtrips_and_refuses_append() {
+        // Ingest the same data dense (v2) and sparse (--format v3 at
+        // threshold 0): every cell must read back bit-identically, scrub
+        // must pass, and append must be refused on the v3 store.
+        let dir = tmp_dir("v3_ingest");
+        // A few isolated spikes on a zero background: the transform's
+        // non-zeros cluster in a handful of tiles, the sparse win case.
+        let data: Vec<String> = (0..16)
+            .map(|r| {
+                (0..16)
+                    .map(|c| if r == 3 && c == 5 { "3.5" } else { "0" }.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        let f = dir.join("data.csv");
+        std::fs::write(&f, data.join("\n")).unwrap();
+        let mut stores = Vec::new();
+        for (name, extra) in [
+            ("dense", &[][..]),
+            ("sparse", &["--format", "v3", "--threshold", "0"][..]),
+        ] {
+            let store = dir.join(format!("{name}.ws"));
+            let store_s = store.to_str().unwrap().to_string();
+            run(&to_args(&[
+                "create", &store_s, "--levels", "4,4", "--tiles", "2,2",
+            ]))
+            .unwrap();
+            let mut args = vec!["ingest", &store_s, "--data", f.to_str().unwrap()];
+            args.extend_from_slice(extra);
+            run(&to_args(&args)).unwrap();
+            stores.push(store);
+        }
+        let mut dense = crate::wsfile::WsFile::open(&stores[0]).unwrap();
+        let mut sparse = crate::wsfile::WsFile::open(&stores[1]).unwrap();
+        assert!(!dense.sparse() && sparse.sparse());
+        for i in 0..16 {
+            for j in 0..16 {
+                let a = ss_query::point_standard(&mut dense.store, &dense.meta.levels, &[i, j]);
+                let b = ss_query::point_standard(&mut sparse.store, &sparse.meta.levels, &[i, j]);
+                assert_eq!(a.to_bits(), b.to_bits(), "cell ({i},{j}): {a} vs {b}");
+            }
+        }
+        // The sparse file is smaller on disk for this mostly-zero data.
+        let dense_len = std::fs::metadata(&stores[0]).unwrap().len();
+        let sparse_len = std::fs::metadata(&stores[1]).unwrap().len();
+        assert!(sparse_len < dense_len, "{sparse_len} !< {dense_len}");
+        drop((dense, sparse));
+        let sparse_s = stores[1].to_str().unwrap().to_string();
+        run(&to_args(&["scrub", &sparse_s])).unwrap();
+        run(&to_args(&["stats", &sparse_s])).unwrap();
+        run(&to_args(&["point", &sparse_s, "2,5"])).unwrap();
+        // Append is a dense-only operation (docs/FORMAT.md §8.6).
+        let chunk = dir.join("chunk.csv");
+        std::fs::write(&chunk, "1,1,1,1,1,1,1,1\n".repeat(16)).unwrap();
+        let err = run(&to_args(&[
+            "append",
+            &sparse_s,
+            "--extent",
+            "8",
+            "--data",
+            chunk.to_str().unwrap(),
+        ]))
+        .expect_err("append on v3 must fail");
+        assert!(err.msg.contains("sparse v3"), "got: {}", err.msg);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_lossy_flags_are_validated() {
+        let args = |v: &[&str]| to_args(v);
+        // --threshold without --format v3
+        let dir = tmp_dir("v3_flags");
+        let store = dir.join("f.ws");
+        let store_s = store.to_str().unwrap().to_string();
+        run(&args(&["create", &store_s, "--levels", "2,2"])).unwrap();
+        let f = dir.join("d.csv");
+        std::fs::write(&f, "1,0,0,0\n0,0,0,0\n0,0,0,0\n0,0,0,1\n").unwrap();
+        for bad in [
+            vec![
+                "ingest",
+                &store_s,
+                "--data",
+                f.to_str().unwrap(),
+                "--threshold",
+                "0.1",
+            ],
+            vec![
+                "ingest",
+                &store_s,
+                "--data",
+                f.to_str().unwrap(),
+                "--format",
+                "v3",
+                "--threshold",
+                "0.1",
+                "--topk",
+                "2",
+            ],
+            vec![
+                "ingest",
+                &store_s,
+                "--data",
+                f.to_str().unwrap(),
+                "--format",
+                "v9",
+            ],
+        ] {
+            assert!(run(&to_args(&bad)).is_err(), "accepted: {bad:?}");
+        }
+        // A lossy ingest succeeds and the store still scrubs clean.
+        run(&args(&[
+            "ingest",
+            &store_s,
+            "--data",
+            f.to_str().unwrap(),
+            "--format",
+            "v3",
+            "--topk",
+            "1",
+        ]))
+        .unwrap();
+        run(&args(&["scrub", &store_s])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,4 +4,4 @@
 //! so library users can create and open stores without going through the
 //! CLI; this module only re-exports the names the subcommands use.
 
-pub use ss_storage::wsfile::{Meta, WsFile};
+pub use ss_storage::wsfile::{convert_to_v3, Meta, WsFile};

@@ -52,9 +52,11 @@ pub mod layout;
 pub mod nonstandard;
 pub mod reconstruct;
 pub mod shift;
+pub mod sparse;
 pub mod split;
 pub mod standard;
 pub mod tiling;
 
 pub use layout::{Coeff1d, Layout1d};
+pub use sparse::{RetentionPolicy, RetentionReport, SparseTile, BUCKET};
 pub use tiling::{NaiveMap, NonStandardTiling, StandardTiling, Tiling1d, TilingMap};

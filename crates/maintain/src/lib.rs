@@ -58,6 +58,36 @@
 //! CRC-framed write-ahead log whose records replay to a bit-identical
 //! state after a crash (format: `docs/FORMAT.md` §7).
 
+//!
+//! # Example
+//!
+//! Buffer two box updates and group-commit them with one write per
+//! dirty tile — bit-identical to applying the boxes one at a time:
+//!
+//! ```
+//! use ss_core::tiling::StandardTiling;
+//! use ss_core::TilingMap;
+//! use ss_maintain::{DeltaBuffer, FlushMode};
+//! use ss_storage::{wstore::mem_store, IoStats};
+//!
+//! let map = StandardTiling::new(&[4, 4], &[2, 2]); // 16x16, 4x4 tiles
+//! let mut cs = mem_store(map.clone(), 1 << 10, IoStats::new());
+//!
+//! let mut buf = DeltaBuffer::new(map.block_capacity(), FlushMode::Exact);
+//! // Two overlapping single-coefficient updates destined for one tile:
+//! buf.begin_box();
+//! buf.add(3, 1, 0.5);
+//! buf.begin_box();
+//! buf.add(3, 1, 0.25);
+//! let report = buf.flush_into(&mut cs);
+//!
+//! assert_eq!(report.boxes, 2);
+//! assert_eq!(report.tiles_written, 1); // coalesced: one RMW, not two
+//! assert_eq!(cs.read_at(3, 1), 0.75);
+//! ```
+
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod engine;
 pub mod snapshot;

@@ -32,6 +32,29 @@
 //!   shutdown,
 //! * [`client`] — [`Client`]: a small blocking, pipelining client used by
 //!   the CLI `query` command, the benches and the tests.
+//!
+//! # Example
+//!
+//! Serve a transformed 16×16 store on an ephemeral port and query it
+//! over TCP:
+//!
+//! ```
+//! use ss_core::tiling::StandardTiling;
+//! use ss_serve::{Client, QueryServer, ServeConfig};
+//! use ss_storage::{mem_shared_store, IoStats};
+//!
+//! let store = mem_shared_store(
+//!     StandardTiling::new(&[4, 4], &[2, 2]), 1 << 10, 4, IoStats::new());
+//! store.write(&[3, 5], 2.0); // one non-zero cell, wavelet-transformed
+//! // ... (a real ingest writes the full forward transform)
+//!
+//! let server = QueryServer::bind(
+//!     "127.0.0.1:0", store, vec![4, 4], ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let got = client.point(&[3, 5]).unwrap();
+//! assert!(got.is_finite());
+//! server.shutdown();
+//! ```
 
 #![warn(missing_docs)]
 

@@ -15,11 +15,25 @@
 //! through [`FileBlockStore::open_v1`], but only read-only. Writeback
 //! ordering is *block first, CRC second*: a crash between the two leaves a
 //! detectable mismatch, never a silently wrong block.
+//!
+//! # Sparse layout (format v3)
+//!
+//! A v3 store ([`FileBlockStore::create_v3`] / [`FileBlockStore::open_v3`])
+//! keeps the same [`BlockStore`] surface — dense `f64` images in, dense
+//! images out — but stores each block as a bucket-bitmap-compressed
+//! payload in a heap behind a per-block directory (`docs/FORMAT.md` §8).
+//! All-zero blocks occupy no heap bytes at all. The sidecar CRC covers
+//! the *encoded payload*, with the normative write ordering *payload,
+//! then directory, then CRC*. `grow` is unsupported on v3 (§8.6).
 
 use crate::block::BlockStore;
 use crate::crc::crc32;
 use crate::error::{ScrubReport, StorageError};
+use crate::sparse::{
+    self as sp, V3_ALLOC_QUANTUM, V3_DIR_ENTRY_LEN, V3_HEADER_LEN, V3_MAGIC, V3_VERSION,
+};
 use crate::stats::IoStats;
+use ss_core::SparseTile;
 use ss_obs::{Counter, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -129,25 +143,50 @@ impl Sidecar {
     }
 }
 
+/// One v3 directory entry: where a block's payload lives in the heap
+/// (`docs/FORMAT.md` §8.2). The all-zero default denotes an all-zero
+/// block.
+#[derive(Clone, Copy, Default, PartialEq)]
+struct DirEntry {
+    offset: u64,
+    len: u32,
+    alloc: u32,
+}
+
+/// How blocks are laid out on disk: the headerless dense array of
+/// formats v1/v2, or the v3 sparse heap with its in-memory directory
+/// mirror.
+enum Layout {
+    Dense,
+    Sparse { dir: Vec<DirEntry>, heap_end: u64 },
+}
+
 /// A [`BlockStore`] over a file on disk, with optional per-block CRC-32
-/// verification (format v2).
+/// verification (format v2) and an optional sparse bucketed layout
+/// (format v3).
 pub struct FileBlockStore {
     file: File,
     capacity: usize,
     blocks: usize,
     byte_buf: Vec<u8>,
     stats: IoStats,
-    /// `Some` for v2 stores; `None` for legacy v1 stores (which are then
-    /// read-only).
+    /// `Some` for v2/v3 stores; `None` for legacy v1 stores (which are
+    /// then read-only).
     sidecar: Option<Sidecar>,
     read_only: bool,
-    /// CRC of an all-zero block of this capacity, memoised for `grow`.
+    /// CRC of an all-zero block of this capacity (v3: of the empty
+    /// payload, i.e. 0), memoised for `grow`.
     zero_crc: u32,
+    layout: Layout,
     // Handles into the global metrics registry, resolved once here so the
     // per-op record is a lock-free fetch_add, not a name lookup.
     read_ns: Histogram,
     write_ns: Histogram,
     checksum_failures: Counter,
+    sparse_blocks_written: Counter,
+    sparse_bytes_written: Counter,
+    sparse_bytes_saved: Counter,
+    sparse_relocations: Counter,
 }
 
 impl FileBlockStore {
@@ -179,6 +218,158 @@ impl FileBlockStore {
             Some(sidecar),
             false,
             zero_crc,
+            Layout::Dense,
+        ))
+    }
+
+    /// Creates (truncating) a sparse v3 store at `path` — header plus a
+    /// zeroed directory, no heap (`docs/FORMAT.md` §8.2) — and its `.crc`
+    /// sidecar with the zero-payload CRC (`0`) for every block.
+    pub fn create_v3(
+        path: &Path,
+        capacity: usize,
+        blocks: usize,
+        stats: IoStats,
+    ) -> Result<Self, StorageError> {
+        assert!(capacity >= 1);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StorageError::io(format!("create {}", path.display()), e))?;
+        let dir_bytes = blocks * V3_DIR_ENTRY_LEN as usize;
+        let mut bytes = Vec::with_capacity(V3_HEADER_LEN as usize + dir_bytes);
+        bytes.extend_from_slice(V3_MAGIC);
+        bytes.extend_from_slice(&V3_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(sp::bucket_for(capacity) as u32).to_le_bytes());
+        bytes.extend_from_slice(&(capacity as u64).to_le_bytes());
+        bytes.extend_from_slice(&(blocks as u64).to_le_bytes());
+        bytes.resize(V3_HEADER_LEN as usize + dir_bytes, 0);
+        file.write_all(&bytes)
+            .map_err(|e| StorageError::io("write v3 header and directory", e))?;
+        let sidecar = Sidecar::create(path, blocks, 0)?;
+        let heap_end = V3_HEADER_LEN + blocks as u64 * V3_DIR_ENTRY_LEN;
+        Ok(Self::assemble(
+            file,
+            capacity,
+            blocks,
+            stats,
+            Some(sidecar),
+            false,
+            0,
+            Layout::Sparse {
+                dir: vec![DirEntry::default(); blocks],
+                heap_end,
+            },
+        ))
+    }
+
+    /// Opens an existing sparse v3 store created with
+    /// [`FileBlockStore::create_v3`], validating the header against the
+    /// declared geometry and every directory entry against the file
+    /// length (`docs/FORMAT.md` §8.2).
+    pub fn open_v3(
+        path: &Path,
+        capacity: usize,
+        blocks: usize,
+        stats: IoStats,
+    ) -> Result<Self, StorageError> {
+        assert!(capacity >= 1);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::io(format!("open {}", path.display()), e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat blocks file", e))?
+            .len();
+        let dir_end = V3_HEADER_LEN + blocks as u64 * V3_DIR_ENTRY_LEN;
+        if file_len < dir_end {
+            return Err(StorageError::Geometry {
+                expected: dir_end,
+                actual: file_len,
+            });
+        }
+        let mut header = [0u8; V3_HEADER_LEN as usize];
+        file.read_exact(&mut header)
+            .map_err(|e| StorageError::io("read v3 header", e))?;
+        if &header[0..8] != V3_MAGIC {
+            return Err(StorageError::Meta("bad v3 blocks-file magic".into()));
+        }
+        let h_version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if h_version != V3_VERSION {
+            return Err(StorageError::UnsupportedVersion(h_version));
+        }
+        let h_bucket = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let h_capacity = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let h_blocks = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if h_bucket != sp::bucket_for(capacity)
+            || h_capacity != capacity as u64
+            || h_blocks != blocks as u64
+        {
+            return Err(StorageError::Meta(format!(
+                "v3 header (bucket {h_bucket}, capacity {h_capacity}, blocks {h_blocks}) \
+                 disagrees with meta geometry (bucket {}, capacity {capacity}, blocks {blocks})",
+                sp::bucket_for(capacity)
+            )));
+        }
+        let mut dir_bytes = vec![0u8; blocks * V3_DIR_ENTRY_LEN as usize];
+        file.read_exact(&mut dir_bytes)
+            .map_err(|e| StorageError::io("read v3 directory", e))?;
+        let mut dir = Vec::with_capacity(blocks);
+        let mut heap_end = dir_end;
+        for (id, e) in dir_bytes
+            .chunks_exact(V3_DIR_ENTRY_LEN as usize)
+            .enumerate()
+        {
+            let entry = DirEntry {
+                offset: u64::from_le_bytes(e[0..8].try_into().unwrap()),
+                len: u32::from_le_bytes(e[8..12].try_into().unwrap()),
+                alloc: u32::from_le_bytes(e[12..16].try_into().unwrap()),
+            };
+            if entry.offset == 0 {
+                if entry.len != 0 || entry.alloc != 0 {
+                    return Err(StorageError::Meta(format!(
+                        "v3 directory entry {id}: all-zero block with len {} / alloc {}",
+                        entry.len, entry.alloc
+                    )));
+                }
+            } else {
+                if entry.offset < dir_end {
+                    return Err(StorageError::Meta(format!(
+                        "v3 directory entry {id}: payload offset {} inside header/directory",
+                        entry.offset
+                    )));
+                }
+                if entry.len > entry.alloc {
+                    return Err(StorageError::Geometry {
+                        expected: entry.alloc as u64,
+                        actual: entry.len as u64,
+                    });
+                }
+                if entry.offset + entry.alloc as u64 > file_len {
+                    return Err(StorageError::Geometry {
+                        expected: entry.offset + entry.alloc as u64,
+                        actual: file_len,
+                    });
+                }
+            }
+            heap_end = heap_end.max(entry.offset + entry.alloc as u64);
+            dir.push(entry);
+        }
+        let sidecar = Sidecar::open(path, blocks)?;
+        Ok(Self::assemble(
+            file,
+            capacity,
+            blocks,
+            stats,
+            Some(sidecar),
+            false,
+            0,
+            Layout::Sparse { dir, heap_end },
         ))
     }
 
@@ -206,6 +397,7 @@ impl FileBlockStore {
             Some(sidecar),
             false,
             zero_crc,
+            Layout::Dense,
         ))
     }
 
@@ -221,7 +413,14 @@ impl FileBlockStore {
         let file = Self::open_blocks_file(path, capacity, blocks)?;
         let zero_crc = crc32(&vec![0u8; capacity * 8]);
         Ok(Self::assemble(
-            file, capacity, blocks, stats, None, true, zero_crc,
+            file,
+            capacity,
+            blocks,
+            stats,
+            None,
+            true,
+            zero_crc,
+            Layout::Dense,
         ))
     }
 
@@ -243,6 +442,7 @@ impl FileBlockStore {
         Ok(file)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         file: File,
         capacity: usize,
@@ -251,6 +451,7 @@ impl FileBlockStore {
         sidecar: Option<Sidecar>,
         read_only: bool,
         zero_crc: u32,
+        layout: Layout,
     ) -> Self {
         FileBlockStore {
             file,
@@ -261,9 +462,14 @@ impl FileBlockStore {
             sidecar,
             read_only,
             zero_crc,
+            layout,
             read_ns: ss_obs::global().histogram("storage.block_read_ns"),
             write_ns: ss_obs::global().histogram("storage.block_write_ns"),
             checksum_failures: ss_obs::global().counter("storage.checksum_failures"),
+            sparse_blocks_written: ss_obs::global().counter("storage.sparse_blocks_written"),
+            sparse_bytes_written: ss_obs::global().counter("storage.sparse_bytes_written"),
+            sparse_bytes_saved: ss_obs::global().counter("storage.sparse_bytes_saved"),
+            sparse_relocations: ss_obs::global().counter("storage.sparse_relocations"),
         }
     }
 
@@ -280,6 +486,152 @@ impl FileBlockStore {
     /// Whether writes are rejected (legacy v1 stores open read-only).
     pub fn read_only(&self) -> bool {
         self.read_only
+    }
+
+    /// Whether the store uses the v3 sparse bucketed layout.
+    pub fn sparse(&self) -> bool {
+        matches!(self.layout, Layout::Sparse { .. })
+    }
+
+    /// Current size of the blocks file in bytes (v3: header + directory
+    /// + heap including relocation garbage; v1/v2: `capacity × blocks ×
+    /// 8`).
+    pub fn disk_bytes(&self) -> Result<u64, StorageError> {
+        Ok(self
+            .file
+            .metadata()
+            .map_err(|e| StorageError::io("stat blocks file", e))?
+            .len())
+    }
+
+    /// Total bytes of *live* encoded payloads in a v3 store (the sum of
+    /// directory `len`s); `None` for dense stores. The gap between this
+    /// and [`FileBlockStore::disk_bytes`] is relocation garbage
+    /// (`docs/FORMAT.md` §8.5).
+    pub fn sparse_live_bytes(&self) -> Option<u64> {
+        match &self.layout {
+            Layout::Sparse { dir, .. } => Some(dir.iter().map(|e| e.len as u64).sum()),
+            Layout::Dense => None,
+        }
+    }
+
+    /// The v3 directory entry of block `id`, if this is a sparse store.
+    fn sparse_entry(&self, id: usize) -> Option<DirEntry> {
+        match &self.layout {
+            Layout::Sparse { dir, .. } => Some(dir[id]),
+            Layout::Dense => None,
+        }
+    }
+
+    /// Persists `entry` as block `id`'s directory slot (16 bytes at its
+    /// fixed offset) and mirrors it in memory — step 3 of the §8.5 write
+    /// protocol.
+    fn write_dir_entry(&mut self, id: usize, entry: DirEntry) -> Result<(), StorageError> {
+        let mut bytes = [0u8; V3_DIR_ENTRY_LEN as usize];
+        bytes[0..8].copy_from_slice(&entry.offset.to_le_bytes());
+        bytes[8..12].copy_from_slice(&entry.len.to_le_bytes());
+        bytes[12..16].copy_from_slice(&entry.alloc.to_le_bytes());
+        self.file
+            .seek(SeekFrom::Start(
+                V3_HEADER_LEN + id as u64 * V3_DIR_ENTRY_LEN,
+            ))
+            .and_then(|_| self.file.write_all(&bytes))
+            .map_err(|e| StorageError::io(format!("write v3 directory entry {id}"), e))?;
+        if let Layout::Sparse { dir, .. } = &mut self.layout {
+            dir[id] = entry;
+        }
+        Ok(())
+    }
+
+    /// Reads and CRC-verifies the encoded payload of sparse block `id`.
+    /// An all-zero entry returns an empty payload after checking its
+    /// sidecar slot holds the empty-string CRC (`0`).
+    fn read_sparse_payload(&mut self, id: usize, entry: DirEntry) -> Result<Vec<u8>, StorageError> {
+        let mut payload = vec![0u8; entry.len as usize];
+        if entry.offset != 0 {
+            self.file
+                .seek(SeekFrom::Start(entry.offset))
+                .and_then(|_| self.file.read_exact(&mut payload))
+                .map_err(|e| StorageError::io(format!("read sparse block {id}"), e))?;
+        }
+        if let Some(sc) = &mut self.sidecar {
+            let stored = sc.read(id)?;
+            let computed = if entry.offset == 0 {
+                0
+            } else {
+                crc32(&payload)
+            };
+            if stored != computed {
+                self.checksum_failures.inc();
+                return Err(StorageError::Checksum {
+                    block: id,
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(payload)
+    }
+
+    /// The §8.5 write protocol for one sparse block: encode, place
+    /// (in-place or relocate to end of heap), then directory, then CRC.
+    fn write_sparse_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError> {
+        let payload = sp::encode(&SparseTile::from_dense(buf));
+        let dense_bytes = self.block_bytes() as u64;
+        let old = self.sparse_entry(id).expect("sparse layout");
+        if payload.is_empty() {
+            // All-zero image: zero directory entry, empty-string CRC.
+            if old != DirEntry::default() {
+                self.write_dir_entry(id, DirEntry::default())?;
+            }
+            if let Some(sc) = &mut self.sidecar {
+                sc.write(id, 0)?;
+            }
+            self.sparse_blocks_written.inc();
+            self.sparse_bytes_saved.add(dense_bytes);
+            return Ok(());
+        }
+        let len = payload.len() as u32;
+        let entry = if old.offset != 0 && len <= old.alloc {
+            DirEntry { len, ..old }
+        } else {
+            // Relocate: append at end of heap with quantised headroom.
+            let alloc = len.div_ceil(V3_ALLOC_QUANTUM) * V3_ALLOC_QUANTUM;
+            let offset = match &self.layout {
+                Layout::Sparse { heap_end, .. } => *heap_end,
+                Layout::Dense => unreachable!(),
+            };
+            if old.offset != 0 {
+                self.sparse_relocations.inc();
+            }
+            DirEntry { offset, len, alloc }
+        };
+        // Step 2: payload first. On relocation also extend the file to
+        // the full allocation so `offset + alloc <= file length` holds
+        // for the next open.
+        self.file
+            .seek(SeekFrom::Start(entry.offset))
+            .and_then(|_| self.file.write_all(&payload))
+            .map_err(|e| StorageError::io(format!("write sparse block {id}"), e))?;
+        if entry.offset != old.offset {
+            let new_heap_end = entry.offset + entry.alloc as u64;
+            self.file
+                .set_len(new_heap_end)
+                .map_err(|e| StorageError::io("extend sparse heap", e))?;
+            if let Layout::Sparse { heap_end, .. } = &mut self.layout {
+                *heap_end = new_heap_end;
+            }
+        }
+        // Step 3: directory. Step 4: CRC over the encoded payload.
+        self.write_dir_entry(id, entry)?;
+        if let Some(sc) = &mut self.sidecar {
+            sc.write(id, crc32(&payload))?;
+        }
+        self.sparse_blocks_written.inc();
+        self.sparse_bytes_written.add(payload.len() as u64);
+        self.sparse_bytes_saved
+            .add(dense_bytes.saturating_sub(payload.len() as u64));
+        Ok(())
     }
 
     /// Flushes OS buffers of the blocks file and sidecar to stable
@@ -306,6 +658,9 @@ impl FileBlockStore {
     /// Corruption is reported in the [`ScrubReport`]; only environmental
     /// failures (unreadable file, bad geometry) are `Err`.
     pub fn scrub(&mut self) -> Result<ScrubReport, StorageError> {
+        if self.sparse() {
+            return self.scrub_sparse();
+        }
         let expected = (self.capacity * self.blocks * 8) as u64;
         let actual = self
             .file
@@ -341,6 +696,51 @@ impl FileBlockStore {
         Ok(report)
     }
 
+    /// The v3 scrub: walks the directory, checking every entry's
+    /// geometry against the file length, every payload's CRC against the
+    /// sidecar, and every payload's length against its own bitmap
+    /// (`docs/FORMAT.md` §8.4). Per-block inconsistencies are reported
+    /// as corrupt blocks; only environmental failures are `Err`.
+    fn scrub_sparse(&mut self) -> Result<ScrubReport, StorageError> {
+        let file_len = self.disk_bytes()?;
+        let dir_end = V3_HEADER_LEN + self.blocks as u64 * V3_DIR_ENTRY_LEN;
+        if file_len < dir_end {
+            return Err(StorageError::Geometry {
+                expected: dir_end,
+                actual: file_len,
+            });
+        }
+        let scanned = ss_obs::global().counter("scrub.blocks_scanned");
+        let corruptions = ss_obs::global().counter("scrub.corruptions");
+        let mut report = ScrubReport {
+            blocks: self.blocks,
+            corrupt: Vec::new(),
+            checksummed: true,
+        };
+        for id in 0..self.blocks {
+            let entry = self.sparse_entry(id).expect("sparse layout");
+            let geometry_ok = if entry.offset == 0 {
+                entry.len == 0 && entry.alloc == 0
+            } else {
+                entry.offset >= dir_end
+                    && entry.len <= entry.alloc
+                    && entry.offset + entry.alloc as u64 <= file_len
+            };
+            let clean = geometry_ok
+                && match self.read_sparse_payload(id, entry) {
+                    Ok(payload) => entry.offset == 0 || sp::decode(&payload, self.capacity).is_ok(),
+                    Err(StorageError::Checksum { .. }) => false,
+                    Err(e) => return Err(e),
+                };
+            if !clean {
+                report.corrupt.push(id);
+                corruptions.inc();
+            }
+            scanned.inc();
+        }
+        Ok(report)
+    }
+
     fn block_bytes(&self) -> usize {
         self.capacity * 8
     }
@@ -359,6 +759,17 @@ impl BlockStore for FileBlockStore {
         assert!(id < self.blocks, "block {id} out of range");
         assert_eq!(buf.len(), self.capacity);
         let t0 = Instant::now();
+        if let Some(entry) = self.sparse_entry(id) {
+            let payload = self.read_sparse_payload(id, entry)?;
+            if entry.offset == 0 {
+                buf.fill(0.0);
+            } else {
+                sp::decode(&payload, self.capacity)?.to_dense(buf);
+            }
+            self.read_ns.record(t0.elapsed().as_nanos() as u64);
+            self.stats.add_block_reads(1);
+            return Ok(());
+        }
         let nbytes = self.block_bytes();
         self.file
             .seek(SeekFrom::Start((id * nbytes) as u64))
@@ -393,6 +804,12 @@ impl BlockStore for FileBlockStore {
             return Err(StorageError::ReadOnly);
         }
         let t0 = Instant::now();
+        if self.sparse() {
+            self.write_sparse_block(id, buf)?;
+            self.write_ns.record(t0.elapsed().as_nanos() as u64);
+            self.stats.add_block_writes(1);
+            return Ok(());
+        }
         for (i, &v) in buf.iter().enumerate() {
             self.byte_buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
@@ -418,6 +835,11 @@ impl BlockStore for FileBlockStore {
 
     fn grow(&mut self, blocks: usize) {
         if blocks > self.blocks {
+            assert!(
+                !self.sparse(),
+                "grow is unsupported on format v3 stores (docs/FORMAT.md §8.6); \
+                 re-ingest into a fresh store to expand the domain"
+            );
             self.file
                 .set_len((self.capacity * blocks * 8) as u64)
                 .expect("grow failed");
@@ -597,6 +1019,151 @@ mod tests {
         bytes[0] ^= 0xFF;
         std::fs::write(&sc, &bytes).unwrap();
         assert!(FileBlockStore::open(&path, 4, 2, IoStats::new()).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_roundtrip() {
+        let path = tmp("v3roundtrip");
+        let mut store = FileBlockStore::create_v3(&path, 8, 4, IoStats::new()).unwrap();
+        assert!(store.sparse());
+        testsuite::roundtrip(&mut store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_zero_blocks_use_no_heap() {
+        let path = tmp("v3zero");
+        let store = FileBlockStore::create_v3(&path, 64, 8, IoStats::new()).unwrap();
+        // Freshly created: header + directory only, no heap.
+        let expected = V3_HEADER_LEN + 8 * V3_DIR_ENTRY_LEN;
+        assert_eq!(store.disk_bytes().unwrap(), expected);
+        assert_eq!(store.sparse_live_bytes(), Some(0));
+        drop(store);
+        let mut store = FileBlockStore::open_v3(&path, 64, 8, IoStats::new()).unwrap();
+        let mut buf = [7.0; 64];
+        store.try_read_block(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&v| v == 0.0));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_persists_and_is_much_smaller_than_dense() {
+        let path = tmp("v3persist");
+        let mut image = [0.0; 256];
+        image[0] = 1.5;
+        image[100] = -2.0;
+        {
+            let mut store = FileBlockStore::create_v3(&path, 256, 16, IoStats::new()).unwrap();
+            store.write_block(5, &image);
+            store.sync().unwrap();
+        }
+        let mut store = FileBlockStore::open_v3(&path, 256, 16, IoStats::new()).unwrap();
+        let mut buf = [9.0; 256];
+        store.try_read_block(5, &mut buf).unwrap();
+        assert_eq!(buf, image);
+        // Two present buckets of one block vs 16 dense blocks of 2 KiB.
+        let dense_bytes: u64 = 256 * 16 * 8;
+        assert!(store.disk_bytes().unwrap() < dense_bytes / 4);
+        assert!(store.scrub().unwrap().is_clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_rewrite_in_place_and_relocate() {
+        let path = tmp("v3reloc");
+        let mut store = FileBlockStore::create_v3(&path, 64, 2, IoStats::new()).unwrap();
+        let mut image = [0.0; 64];
+        image[0] = 1.0;
+        store.write_block(0, &image);
+        let len_after_first = store.disk_bytes().unwrap();
+        // Growing within the same bucket stays within the 128-byte
+        // allocation quantum: no relocation, file length unchanged.
+        image[1] = 2.0;
+        store.write_block(0, &image);
+        assert_eq!(store.disk_bytes().unwrap(), len_after_first);
+        // Touching all four buckets outgrows the allocation: relocate.
+        for slot in [16, 32, 48] {
+            image[slot] = 3.0;
+        }
+        store.write_block(0, &image);
+        assert!(store.disk_bytes().unwrap() > len_after_first);
+        let live = store.sparse_live_bytes().unwrap();
+        assert!(live < store.disk_bytes().unwrap()); // old region is garbage
+        let mut buf = [0.0; 64];
+        store.try_read_block(0, &mut buf).unwrap();
+        assert_eq!(buf, image);
+        // Writing the block back to all-zero frees its directory entry.
+        store.write_block(0, &[0.0; 64]);
+        assert_eq!(store.sparse_live_bytes(), Some(0));
+        store.try_read_block(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&v| v == 0.0));
+        assert!(store.scrub().unwrap().is_clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_scrub_catches_bit_flipped_payload() {
+        let path = tmp("v3bitrot");
+        let mut image = [0.0; 64];
+        image[20] = 4.25;
+        {
+            let mut store = FileBlockStore::create_v3(&path, 64, 4, IoStats::new()).unwrap();
+            store.write_block(2, &image);
+            store.sync().unwrap();
+        }
+        // Flip one bit inside the heap (past header + directory).
+        let heap_start = (V3_HEADER_LEN + 4 * V3_DIR_ENTRY_LEN) as usize;
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[heap_start + 5] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = FileBlockStore::open_v3(&path, 64, 4, IoStats::new()).unwrap();
+        let mut buf = [0.0; 64];
+        assert!(matches!(
+            store.try_read_block(2, &mut buf),
+            Err(StorageError::Checksum { block: 2, .. })
+        ));
+        store.try_read_block(0, &mut buf).unwrap(); // others unaffected
+        let report = store.scrub().unwrap();
+        assert_eq!(report.corrupt, vec![2]);
+        assert!(report.checksummed);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_rejects_bad_magic_and_geometry() {
+        let path = tmp("v3badmagic");
+        drop(FileBlockStore::create_v3(&path, 8, 2, IoStats::new()).unwrap());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileBlockStore::open_v3(&path, 8, 2, IoStats::new()),
+            Err(StorageError::Meta(_))
+        ));
+        bytes[0] ^= 0xFF; // restore magic, corrupt a directory entry instead
+        let dir0 = V3_HEADER_LEN as usize;
+        bytes[dir0..dir0 + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileBlockStore::open_v3(&path, 8, 2, IoStats::new()),
+            Err(StorageError::Meta(_)) | Err(StorageError::Geometry { .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_grow_panics() {
+        let path = tmp("v3grow");
+        let mut store = FileBlockStore::create_v3(&path, 8, 2, IoStats::new()).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.grow(4)))
+            .expect_err("grow on v3 must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("unsupported on format v3"), "got: {msg}");
         cleanup(&path);
     }
 

@@ -68,6 +68,7 @@ pub mod pool;
 pub mod read;
 pub mod retry;
 pub mod shard;
+pub mod sparse;
 pub mod stats;
 pub mod throttle;
 pub mod wsfile;
@@ -84,5 +85,5 @@ pub use retry::{RetryPolicy, RetryingBlockStore};
 pub use shard::{mem_shared_store, ShardCounters, ShardedBufferPool, SharedCoeffStore};
 pub use stats::{IoSnapshot, IoStats};
 pub use throttle::ThrottledBlockStore;
-pub use wsfile::{Meta, WsFile, FORMAT_VERSION};
+pub use wsfile::{convert_to_v3, Meta, V3ConvertReport, WsFile, FORMAT_VERSION, V3_FORMAT_VERSION};
 pub use wstore::CoeffStore;

@@ -16,27 +16,38 @@
 //! ```
 //!
 //! Version history: v1 had no checksum sidecar. v1 stores still open —
-//! read-only — through [`WsFile::open`]; every newly created store is v2.
-//! Metadata updates are crash-safe: [`WsFile::save_meta`] writes a temp
-//! file, fsyncs it, and atomically renames it over the old header, so a
-//! crash at any instant leaves either the old meta or the new one intact,
-//! never a torn mixture.
+//! read-only — through [`WsFile::open`]; every newly created store is v2
+//! unless the sparse v3 layout is requested ([`WsFile::create_v3`],
+//! `docs/FORMAT.md` §8), in which case the blocks file is a bucket-
+//! bitmap-compressed heap and `version = 3`. Metadata updates are
+//! crash-safe: [`WsFile::save_meta`] writes a temp file, fsyncs it, and
+//! atomically renames it over the old header, so a crash at any instant
+//! leaves either the old meta or the new one intact, never a torn
+//! mixture.
 
 use crate::error::{ScrubReport, StorageError};
-use crate::{CoeffStore, FileBlockStore, IoStats};
+use crate::file::sidecar_path;
+use crate::{BlockStore, CoeffStore, FileBlockStore, IoStats};
+use ss_core::sparse::{RetentionPolicy, RetentionReport};
 use ss_core::tiling::StandardTiling;
 use ss_core::TilingMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// The `.ws` format version this build writes.
+/// The `.ws` format version this build writes by default (dense,
+/// checksummed). The sparse layout is opt-in; see [`V3_FORMAT_VERSION`].
 pub const FORMAT_VERSION: u32 = 2;
+
+/// The opt-in sparse bucketed format version (`docs/FORMAT.md` §8),
+/// written by [`WsFile::create_v3`] / `shiftsplit ingest --format v3`.
+pub const V3_FORMAT_VERSION: u32 = 3;
 
 /// Geometry and bookkeeping persisted in the `.meta` file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Meta {
-    /// On-disk format version (1 = legacy, no checksums; 2 = current).
+    /// On-disk format version (1 = legacy, no checksums; 2 = current
+    /// dense default; 3 = sparse bucketed).
     pub version: u32,
     /// Per-axis `log2` domain sizes.
     pub levels: Vec<u32>,
@@ -78,9 +89,9 @@ impl Meta {
         s
     }
 
-    /// Parses the textual header format. Accepts versions 1 and 2; a
-    /// missing `version` line means 1 (the line was optional before it
-    /// existed).
+    /// Parses the textual header format. Accepts versions 1 through
+    /// [`V3_FORMAT_VERSION`]; a missing `version` line means 1 (the line
+    /// was optional before it existed).
     pub fn from_text(text: &str) -> Result<Meta, StorageError> {
         let bad = |msg: String| StorageError::Meta(msg);
         let mut version = 1u32;
@@ -104,7 +115,7 @@ impl Meta {
                     version = value
                         .parse::<u32>()
                         .map_err(|e| bad(format!("bad version: {e}")))?;
-                    if version == 0 || version > FORMAT_VERSION {
+                    if version == 0 || version > V3_FORMAT_VERSION {
                         return Err(StorageError::UnsupportedVersion(version));
                     }
                 }
@@ -219,9 +230,28 @@ impl WsFile {
         })
     }
 
-    /// Opens an existing store. Current (v2) stores open read-write with
-    /// CRC-verified reads; legacy v1 stores open **read-only** without
-    /// checksums.
+    /// Creates a fresh, zeroed **sparse v3** store (truncates existing
+    /// files): bucket-bitmap-compressed blocks file plus payload-CRC
+    /// sidecar, `version = 3` in the meta (`docs/FORMAT.md` §8).
+    pub fn create_v3(path: &Path, mut meta: Meta) -> Result<WsFile, StorageError> {
+        meta.version = V3_FORMAT_VERSION;
+        let map = meta.tiling();
+        let stats = IoStats::new();
+        let blocks =
+            FileBlockStore::create_v3(path, map.block_capacity(), map.num_tiles(), stats.clone())?;
+        atomic_write(&meta_path(path), &meta.to_text())?;
+        Ok(WsFile {
+            store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
+            meta,
+            stats,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing store. Current (v2) and sparse (v3) stores open
+    /// read-write with CRC-verified reads; legacy v1 stores open
+    /// **read-only** without checksums. The meta `version` line
+    /// dispatches the blocks-file layout.
     pub fn open(path: &Path) -> Result<WsFile, StorageError> {
         let mp = meta_path(path);
         let text = std::fs::read_to_string(&mp)
@@ -229,10 +259,14 @@ impl WsFile {
         let meta = Meta::from_text(&text)?;
         let map = meta.tiling();
         let stats = IoStats::new();
-        let blocks = if meta.version >= 2 {
-            FileBlockStore::open(path, map.block_capacity(), map.num_tiles(), stats.clone())?
-        } else {
-            FileBlockStore::open_v1(path, map.block_capacity(), map.num_tiles(), stats.clone())?
+        let blocks = match meta.version {
+            V3_FORMAT_VERSION => {
+                FileBlockStore::open_v3(path, map.block_capacity(), map.num_tiles(), stats.clone())?
+            }
+            2 => FileBlockStore::open(path, map.block_capacity(), map.num_tiles(), stats.clone())?,
+            _ => {
+                FileBlockStore::open_v1(path, map.block_capacity(), map.num_tiles(), stats.clone())?
+            }
         };
         Ok(WsFile {
             store: CoeffStore::new(map, blocks, 1 << 10, stats.clone()),
@@ -295,6 +329,87 @@ impl WsFile {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Whether the blocks file uses the sparse v3 layout.
+    pub fn sparse(&self) -> bool {
+        self.meta.version == V3_FORMAT_VERSION
+    }
+}
+
+/// What [`convert_to_v3`] did: the retention outcome plus the on-disk
+/// byte counts before and after.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct V3ConvertReport {
+    /// Coefficients kept/dropped and the error introduced by the
+    /// retention policy (all zeros for [`RetentionPolicy::Keep`] /
+    /// `Threshold(0)`).
+    pub retention: RetentionReport,
+    /// Blocks-file bytes of the dense source (`capacity × blocks × 8`).
+    pub dense_bytes: u64,
+    /// Blocks-file bytes of the sparse result (header + directory +
+    /// heap).
+    pub sparse_bytes: u64,
+}
+
+/// Rewrites the dense store at `path` into a sparse v3 store **in
+/// place**, applying `policy` to every tile on the way through
+/// (`shiftsplit ingest --format v3` runs this after a normal dense
+/// ingest).
+///
+/// Crash safety follows the §5.4 rename discipline: the v3 blocks file
+/// and sidecar are fully written and fsynced at temp paths, then renamed
+/// over the originals (blocks first, sidecar second), and the meta is
+/// rewritten (`version = 3`) atomically last. A crash mid-sequence
+/// leaves either the old dense store intact or a mixture the next
+/// `open` rejects with a typed geometry/checksum error — never a
+/// silently wrong store.
+pub fn convert_to_v3(
+    path: &Path,
+    policy: RetentionPolicy,
+) -> Result<V3ConvertReport, StorageError> {
+    let mp = meta_path(path);
+    let text = std::fs::read_to_string(&mp)
+        .map_err(|e| StorageError::io(format!("read {}", mp.display()), e))?;
+    let mut meta = Meta::from_text(&text)?;
+    if meta.version == V3_FORMAT_VERSION {
+        return Err(StorageError::Meta(format!(
+            "{} is already a sparse v3 store",
+            path.display()
+        )));
+    }
+    let map = meta.tiling();
+    let (capacity, blocks) = (map.block_capacity(), map.num_tiles());
+    let stats = IoStats::new();
+    let mut src = if meta.version >= 2 {
+        FileBlockStore::open(path, capacity, blocks, stats.clone())?
+    } else {
+        FileBlockStore::open_v1(path, capacity, blocks, stats.clone())?
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".v3tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut dst = FileBlockStore::create_v3(&tmp, capacity, blocks, stats)?;
+    let mut report = V3ConvertReport {
+        dense_bytes: (capacity * blocks * 8) as u64,
+        ..Default::default()
+    };
+    let mut buf = vec![0.0; capacity];
+    for id in 0..blocks {
+        src.try_read_block(id, &mut buf)?;
+        report.retention.merge(&policy.apply(&mut buf));
+        dst.try_write_block(id, &buf)?;
+    }
+    dst.sync()?;
+    report.sparse_bytes = dst.disk_bytes()?;
+    drop(dst);
+    drop(src);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| StorageError::io(format!("rename v3 blocks over {}", path.display()), e))?;
+    std::fs::rename(sidecar_path(&tmp), sidecar_path(path))
+        .map_err(|e| StorageError::io("rename v3 sidecar", e))?;
+    meta.version = V3_FORMAT_VERSION;
+    atomic_write(&mp, &meta.to_text())?;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -473,6 +588,81 @@ mod tests {
         assert!(matches!(ws.save_meta(), Err(StorageError::ReadOnly)));
         let report = ws.verify().unwrap();
         assert!(!report.checksummed);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_create_write_reopen_read() {
+        let path = tmp("v3roundtrip");
+        let meta = Meta::new(vec![3, 3], vec![1, 1], 8, 1);
+        {
+            let mut ws = WsFile::create_v3(&path, meta.clone()).unwrap();
+            assert!(ws.sparse());
+            assert_eq!(ws.meta.version, V3_FORMAT_VERSION);
+            ws.store.write(&[2, 5], 42.5);
+            ws.store.flush();
+        }
+        {
+            let mut ws = WsFile::open(&path).unwrap();
+            assert!(ws.sparse() && !ws.read_only());
+            assert_eq!(ws.store.read(&[2, 5]), 42.5);
+            assert_eq!(ws.store.read(&[0, 0]), 0.0);
+            assert!(ws.verify().unwrap().is_clean());
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn convert_to_v3_lossless_is_bit_identical() {
+        let path = tmp("v3convert");
+        let meta = Meta::new(vec![3, 3], vec![1, 1], 8, 1);
+        let mut dense_image = Vec::new();
+        {
+            let mut ws = WsFile::create(&path, meta).unwrap();
+            ws.store.write(&[2, 5], 42.5);
+            ws.store.write(&[7, 7], -1e-12);
+            ws.store.flush();
+            for i in 0..8 {
+                for j in 0..8 {
+                    dense_image.push(ws.store.read(&[i, j]));
+                }
+            }
+        }
+        let report = convert_to_v3(&path, RetentionPolicy::Threshold(0.0)).unwrap();
+        assert_eq!(report.retention.dropped, 0);
+        assert_eq!(report.retention.l2_error(), 0.0);
+        assert!(report.sparse_bytes < report.dense_bytes);
+        let mut ws = WsFile::open(&path).unwrap();
+        assert!(ws.sparse());
+        let mut k = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(ws.store.read(&[i, j]).to_bits(), dense_image[k].to_bits());
+                k += 1;
+            }
+        }
+        assert!(ws.verify().unwrap().is_clean());
+        // A second conversion is refused.
+        assert!(convert_to_v3(&path, RetentionPolicy::Keep).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn convert_to_v3_lossy_reports_achieved_error() {
+        let path = tmp("v3lossy");
+        let meta = Meta::new(vec![2, 2], vec![1, 1], 4, 1);
+        {
+            let mut ws = WsFile::create(&path, meta).unwrap();
+            ws.store.write(&[1, 1], 8.0);
+            ws.store.write(&[3, 3], 0.25);
+            ws.store.flush();
+        }
+        let report = convert_to_v3(&path, RetentionPolicy::Threshold(1.0)).unwrap();
+        assert!(report.retention.dropped >= 1);
+        assert!(report.retention.l2_error() > 0.0);
+        assert!(report.retention.max_dropped <= 1.0, "threshold respected");
+        let mut ws = WsFile::open(&path).unwrap();
+        assert!(ws.verify().unwrap().is_clean());
         cleanup(&path);
     }
 

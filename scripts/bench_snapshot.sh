@@ -6,8 +6,11 @@
 # for the coalesced maintenance engine (the exp_update batch × box-size ×
 # form sweep, same row format), BENCH_rw.json for the live read/write
 # server (the exp_rw readers × writers sweep over the MVCC snapshot
-# store, same row format) and BENCH_trace.json for the tracing layer
-# (the exp_trace off/ring/export overhead sweep, same row format).
+# store, same row format), BENCH_trace.json for the tracing layer
+# (the exp_trace off/ring/export overhead sweep, same row format) and
+# BENCH_sparse.json for the sparse v3 storage layout (the exp_sparse
+# retention-policy sweep: bytes on disk and query behaviour versus
+# reconstruction error, same row format).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
@@ -69,3 +72,10 @@ SS_EXP_JSON="$trace_out.tmp" cargo run --release -q -p ss-bench --bin exp_trace
 ./scripts/check_metrics_schema rows "$trace_out.tmp"
 mv "$trace_out.tmp" "$trace_out"
 echo "wrote $trace_out"
+
+sparse_out="${6:-BENCH_sparse.json}"
+rm -f "$sparse_out.tmp"
+SS_EXP_JSON="$sparse_out.tmp" cargo run --release -q -p ss-bench --bin exp_sparse
+./scripts/check_metrics_schema rows "$sparse_out.tmp"
+mv "$sparse_out.tmp" "$sparse_out"
+echo "wrote $sparse_out"

@@ -6,10 +6,10 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 
 EXPERIMENTS=(exp_table1 exp_table2 exp_fig11 exp_fig12 exp_fig13 exp_fig14 exp_recon exp_tiling exp_ablation exp_approx exp_streams_md)
-# Post-paper extensions (DESIGN.md §7/§9/§10/§11/§12): parallel-driver,
-# durability, query-serving, coalesced-maintenance and live
-# read/write-serving sweeps.
-EXPERIMENTS+=(exp_par exp_fault exp_serve exp_update exp_rw)
+# Post-paper extensions (DESIGN.md §7/§9/§10/§11/§12/§14):
+# parallel-driver, durability, query-serving, coalesced-maintenance,
+# live read/write-serving and sparse-storage sweeps.
+EXPERIMENTS+=(exp_par exp_fault exp_serve exp_update exp_rw exp_sparse)
 
 cargo build --release -p ss-bench --bins
 
