@@ -1,0 +1,321 @@
+//! **E-SIMD** — hot-kernel sweep: the cache-blocked (and, under
+//! `--features simd`, vectorized) kernels against in-binary naive
+//! references.
+//!
+//! Not a paper experiment: the paper counts I/O, not cycles. This
+//! harness guards the kernel layer (`ss-core/src/kernel.rs`): each row
+//! times one hot kernel at a 256²+ working set against a deliberately
+//! naive reference — per-line gather/scatter for the axis cascades,
+//! tuple-indexed butterflies for the non-standard form, a branchy
+//! element loop for the dense SPLIT flush — and reports the speedup.
+//! Every reference computes bit-identical results (asserted per rep),
+//! so the speedup is pure execution-strategy, not accuracy trade.
+//!
+//! Run once per build and append to the same `SS_EXP_JSON` file to get
+//! the committed `BENCH_simd.json`: rows carry `build` (`scalar` /
+//! `simd`) and `lanes`, so scalar-vs-SIMD comparisons read straight off
+//! the dataset. The binary asserts best speedup >= 1.0 against its own
+//! references (>= 1.5 in the SIMD build, the ISSUE acceptance bar;
+//! override with `SS_SIMD_BAR`).
+
+use ss_array::{MultiIndexIter, NdArray, Shape};
+use ss_bench::{emit_json_row, fmt_f, Table};
+use ss_core::{haar1d, kernel, nonstandard, standard};
+use ss_obs::json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPS: usize = 7;
+
+/// Deterministic data: cheap SplitMix-style hash of the index.
+fn data(len: usize, seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let x = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let x = (x ^ (x >> 31)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (x >> 11) as f64 / (1u64 << 53) as f64 * 2e3 - 1e3
+        })
+        .collect()
+}
+
+/// Min-of-`REPS` wall time in milliseconds (1 warmup rep first).
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn assert_same_bits(name: &str, got: &[f64], want: &[f64]) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{name}: bit mismatch at {i}: {g} vs {w}"
+        );
+    }
+}
+
+struct Row {
+    kernel: &'static str,
+    shape: String,
+    cells: usize,
+    naive_ms: f64,
+    active_ms: f64,
+}
+
+/// 1-d Haar cascade on a long signal: active kernel vs the pinned
+/// scalar cascade (identical code in the scalar build; the direct
+/// deinterleave/interleave SIMD win in the `simd` build).
+fn bench_haar1d(len: usize) -> Row {
+    let src = data(len, 0x51);
+    let mut scratch = Vec::new();
+    let mut buf = src.clone();
+    let naive_ms = time_ms(|| {
+        buf.copy_from_slice(&src);
+        haar1d::forward_scalar_with(black_box(&mut buf), &mut scratch);
+        black_box(&buf);
+    });
+    let want = buf.clone();
+    let active_ms = time_ms(|| {
+        buf.copy_from_slice(&src);
+        haar1d::forward_with(black_box(&mut buf), &mut scratch);
+        black_box(&buf);
+    });
+    assert_same_bits("haar1d_forward", &buf, &want);
+    Row {
+        kernel: "haar1d_forward",
+        shape: format!("{len}"),
+        cells: len,
+        naive_ms,
+        active_ms,
+    }
+}
+
+/// Standard-form axis cascade: the panel/cache-blocked path vs gather
+/// each strided line into a contiguous buffer, transform, scatter back.
+fn bench_standard(dims: &[usize]) -> Row {
+    let shape = Shape::new(dims);
+    let a = NdArray::from_vec(shape.clone(), data(shape.len(), 0x57d));
+    let mut scratch = Vec::new();
+    let mut want = a.clone();
+    let naive_ms = time_ms(|| {
+        want = a.clone();
+        let shape = want.shape().clone();
+        for axis in 0..shape.ndim() {
+            let len = shape.dim(axis);
+            let stride = shape.strides()[axis];
+            let mut outer: Vec<usize> = shape.dims().to_vec();
+            outer[axis] = 1;
+            for idx in MultiIndexIter::new(&outer) {
+                let base = shape.offset(&idx);
+                let mut line: Vec<f64> = (0..len)
+                    .map(|i| want.as_slice()[base + i * stride])
+                    .collect();
+                haar1d::forward_scalar_with(&mut line, &mut scratch);
+                for (i, &v) in line.iter().enumerate() {
+                    want.as_mut_slice()[base + i * stride] = v;
+                }
+            }
+        }
+        black_box(&want);
+    });
+    let mut got = a.clone();
+    let active_ms = time_ms(|| {
+        got = a.clone();
+        standard::forward(black_box(&mut got));
+        black_box(&got);
+    });
+    assert_same_bits("standard_forward", got.as_slice(), want.as_slice());
+    Row {
+        kernel: "standard_forward",
+        shape: dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x"),
+        cells: shape.len(),
+        naive_ms,
+        active_ms,
+    }
+}
+
+/// Non-standard joint butterfly: the flat odometer kernel vs a
+/// tuple-indexed reference (same corner-order association, so the
+/// outputs stay bit-identical).
+fn bench_nonstandard(d: usize, side: usize) -> Row {
+    let shape = Shape::cube(d, side);
+    let a = NdArray::from_vec(shape.clone(), data(shape.len(), 0x2d));
+    let m = 1usize << d;
+    let mut want = a.clone();
+    let mut scratch_arr = a.clone();
+    let mut src = vec![0usize; d];
+    let mut dst = vec![0usize; d];
+    let naive_ms = time_ms(|| {
+        want = a.clone();
+        let mut width = side;
+        while width > 1 {
+            let half = width / 2;
+            for idx in MultiIndexIter::new(&vec![half; d]) {
+                for eps in 0..m {
+                    let mut acc = 0.0;
+                    for corner in 0..m {
+                        let mut sign = 1.0;
+                        for t in 0..d {
+                            let bit = (corner >> (d - 1 - t)) & 1;
+                            src[t] = 2 * idx[t] + bit;
+                            if (eps >> (d - 1 - t)) & 1 == 1 && bit == 1 {
+                                sign = -sign;
+                            }
+                        }
+                        let v = sign * want.get(&src);
+                        acc = if corner == 0 { v } else { acc + v };
+                    }
+                    for t in 0..d {
+                        dst[t] = idx[t] + ((eps >> (d - 1 - t)) & 1) * half;
+                    }
+                    scratch_arr.set(&dst, acc / m as f64);
+                }
+            }
+            for idx in MultiIndexIter::new(&vec![width; d]) {
+                want.set(&idx, scratch_arr.get(&idx));
+            }
+            width = half;
+        }
+        black_box(&want);
+    });
+    let mut got = a.clone();
+    let active_ms = time_ms(|| {
+        got = a.clone();
+        nonstandard::forward(black_box(&mut got));
+        black_box(&got);
+    });
+    assert_same_bits("nonstandard_forward", got.as_slice(), want.as_slice());
+    Row {
+        kernel: "nonstandard_forward",
+        shape: format!("{side}^{d}"),
+        cells: shape.len(),
+        naive_ms,
+        active_ms,
+    }
+}
+
+/// Dense SPLIT flush apply (`kernel::masked_add`): one accumulated
+/// delta block added into a coefficient block, skipping untouched
+/// slots — vs the branchy scalar loop it replaces.
+fn bench_masked_add(blocks: usize, block_len: usize) -> Row {
+    let base = data(blocks * block_len, 0xadd);
+    let mut deltas = data(blocks * block_len, 0xde17a);
+    // Half the slots untouched, as a coalesced flush typically leaves.
+    for (i, d) in deltas.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *d = 0.0;
+        }
+    }
+    let mut want = base.clone();
+    let naive_ms = time_ms(|| {
+        want.copy_from_slice(&base);
+        for (blk, dl) in want
+            .chunks_exact_mut(block_len)
+            .zip(deltas.chunks_exact(block_len))
+        {
+            for (b, &d) in blk.iter_mut().zip(dl) {
+                if d != 0.0 {
+                    *b += d;
+                }
+            }
+        }
+        black_box(&want);
+    });
+    let mut got = base.clone();
+    let active_ms = time_ms(|| {
+        got.copy_from_slice(&base);
+        for (blk, dl) in got
+            .chunks_exact_mut(block_len)
+            .zip(deltas.chunks_exact(block_len))
+        {
+            kernel::masked_add(blk, dl);
+        }
+        black_box(&got);
+    });
+    assert_same_bits("split_masked_add", &got, &want);
+    Row {
+        kernel: "split_masked_add",
+        shape: format!("{blocks}x{block_len}"),
+        cells: blocks * block_len,
+        naive_ms,
+        active_ms,
+    }
+}
+
+fn main() {
+    let build = kernel::name();
+    let lanes = kernel::lanes();
+    println!("# E-SIMD — hot kernels vs naive references (build: {build}, lanes {lanes})\n");
+
+    let rows = vec![
+        bench_haar1d(1 << 21),
+        bench_standard(&[256, 256]),
+        bench_standard(&[512, 512]),
+        bench_standard(&[64, 64, 64]),
+        bench_nonstandard(2, 512),
+        bench_nonstandard(3, 64),
+        bench_masked_add(512, 4096),
+    ];
+
+    let mut table = Table::new(&[
+        "kernel",
+        "shape",
+        "cells",
+        "naive ms",
+        "active ms",
+        "speedup",
+    ]);
+    let mut best = 0.0f64;
+    for r in &rows {
+        let speedup = r.naive_ms / r.active_ms;
+        best = best.max(speedup);
+        table.row(&[
+            &r.kernel,
+            &r.shape,
+            &(r.cells as u64),
+            &fmt_f(r.naive_ms, 3),
+            &fmt_f(r.active_ms, 3),
+            &format!("{speedup:.2}x"),
+        ]);
+        emit_json_row(
+            "simd",
+            &[
+                ("kernel", Value::from(r.kernel)),
+                ("shape", Value::from(r.shape.as_str())),
+                ("cells", Value::from(r.cells as u64)),
+                ("build", Value::from(build)),
+                ("lanes", Value::from(lanes as u64)),
+                ("naive_ms", Value::from(r.naive_ms)),
+                ("active_ms", Value::from(r.active_ms)),
+                ("speedup", Value::from(r.naive_ms / r.active_ms)),
+            ],
+        );
+    }
+    table.print();
+
+    // Scalar build: the cache-blocked restructure alone must not lose to
+    // the naive paths. SIMD build: the ISSUE acceptance bar, >= 1.5x on
+    // at least one kernel at 256²+.
+    let default_bar = if lanes > 1 { 1.5 } else { 1.0 };
+    let bar = std::env::var("SS_SIMD_BAR")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(default_bar);
+    println!("\nBest speedup {best:.2}x (bar {bar:.2}x, build {build}).");
+    assert!(
+        best >= bar,
+        "acceptance: best kernel speedup {best:.2}x under the {bar:.2}x bar ({build} build)"
+    );
+    println!("All rows verified bit-identical against their references before timing was trusted.");
+}

@@ -52,6 +52,16 @@ impl From<CmdError> for String {
 
 /// Rejects mutation of read-only (legacy v1) stores with an actionable
 /// message instead of a deep typed error.
+/// Publishes which compute kernel this binary was built with
+/// (`kernel.lanes` gauge; 1 = scalar) so `--metrics-json` rows and the
+/// metrics endpoint label their numbers with the build that produced
+/// them.
+fn report_kernel() {
+    ss_obs::global()
+        .gauge("kernel.lanes")
+        .set(ss_core::kernel::lanes() as u64);
+}
+
 fn check_writable(ws: &WsFile, verb: &str) -> Result<(), String> {
     if ws.read_only() {
         Err(format!(
@@ -240,14 +250,16 @@ pub fn ingest(args: &Args) -> Result<(), String> {
         let report = ss_maintain::transform_standard_coalesced(&src, &mut ws.store, group, mode);
         ws.meta.filled = dims[ws.meta.axis];
         ws.save_meta()?;
+        report_kernel();
         println!(
             "ingested {} cells in {} chunks with {} group flushes \
-             ({} tiles written, coalescing ratio {:.2})",
+             ({} tiles written, coalescing ratio {:.2}, {} kernel)",
             report.input_coeffs,
             report.chunks,
             report.flushes,
             report.flush.tiles_written,
-            report.flush.coalescing_ratio()
+            report.flush.coalescing_ratio(),
+            ss_core::kernel::name()
         );
         let stats = ws.stats.clone();
         drop(ws);
@@ -451,16 +463,18 @@ pub fn update(args: &Args) -> Result<(), String> {
             (ws, report)
         }
     };
+    report_kernel();
     println!(
         "applied {} boxes as {} dyadic pieces ({} coefficients); \
          group flush wrote {} tiles for {} per-box tile touches \
-         (coalescing ratio {:.2})",
+         (coalescing ratio {:.2}, {} kernel)",
         boxes.len(),
         report.update.pieces,
         report.update.coeffs_touched,
         report.flush.tiles_written,
         report.flush.tile_touches,
-        report.flush.coalescing_ratio()
+        report.flush.coalescing_ratio(),
+        ss_core::kernel::name()
     );
     metrics::emit(args, &ws.stats)
 }
@@ -708,6 +722,11 @@ pub fn stats(args: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
     );
     println!("append  : axis {}, filled {}", ws.meta.axis, ws.meta.filled);
+    println!(
+        "kernel  : {} (lanes {})",
+        ss_core::kernel::name(),
+        ss_core::kernel::lanes()
+    );
     let disk = std::fs::metadata(ws.path()).map(|m| m.len()).unwrap_or(0);
     println!("on disk : {disk} bytes");
     if let Some(live) = ws.store.pool().store_mut().sparse_live_bytes() {

@@ -1,0 +1,414 @@
+//! The element-wise compute kernels behind every hot loop in the
+//! workspace — one scalar implementation, one lane-generic
+//! [`std::simd`] implementation, selected at **build time** by the
+//! `simd` cargo feature.
+//!
+//! # Why a kernel layer
+//!
+//! The Haar cascade is an O(N) butterfly: every level applies the same
+//! unnormalised average/difference pair `u = (a + b)/2`, `w = (a − b)/2`
+//! to independent element pairs, and the separable multidimensional
+//! forms apply that pair across whole *panels* of adjacent lines (see
+//! [`crate::standard`]). Those panels have unit-stride inner loops by
+//! construction, which is exactly the shape `std::simd` vectorises.
+//! Centralising the arithmetic here means `haar1d`, both
+//! multidimensional transforms, reconstruction and the maintenance
+//! engine's flush apply all pick up the vector build from one place —
+//! and that the scalar/SIMD equivalence argument has one paragraph to
+//! live in (docs/ERROR_MODEL.md §"Kernel equivalence").
+//!
+//! # Exactness
+//!
+//! Every function in this module performs the **same IEEE-754
+//! operations in the same per-element order** in both builds: the SIMD
+//! paths only regroup independent elements into lanes (additions never
+//! reassociate across elements) and the lane tails fall back to the
+//! scalar loop. Results are therefore **bit-identical** between the
+//! scalar and SIMD builds, for every lane width — the property the
+//! cross-build proptests in `haar1d`, `standard` and `nonstandard`
+//! pin down.
+//!
+//! # Build selection
+//!
+//! The `simd` feature requires a nightly toolchain (`portable_simd`).
+//! The default build is dependency-free stable Rust; [`name`] and
+//! [`lanes`] report which kernel a binary was built with so CLIs and
+//! experiment harnesses can label their output.
+
+#[cfg(feature = "simd")]
+use std::simd::{cmp::SimdPartialEq, Select, Simd};
+
+/// Default lane width of the SIMD build: `f64x8` spans one AVX-512
+/// register and lowers to two fused AVX2 ops elsewhere — measurably
+/// better than `f64x4` on both, and exact either way.
+#[cfg(feature = "simd")]
+pub const LANES: usize = 8;
+
+/// Which kernel this build runs: `"simd"` or `"scalar"`.
+pub const fn name() -> &'static str {
+    if cfg!(feature = "simd") {
+        "simd"
+    } else {
+        "scalar"
+    }
+}
+
+/// Lane width of the active kernel (1 for the scalar build).
+pub const fn lanes() -> usize {
+    #[cfg(feature = "simd")]
+    {
+        LANES
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contiguous (interleaved-pair) butterfly levels — the 1-d cascade.
+// ---------------------------------------------------------------------
+
+/// One forward Haar level over a contiguous line: reads the pairs
+/// `data[2k], data[2k+1]` for `k < half`, writes averages into
+/// `data[..half]` and details into `detail[..half]`.
+///
+/// Writing average `k` is safe while later pairs are still unread:
+/// `k < 2k' + 1` for every unprocessed pair `k' >= k`.
+pub fn forward_level_scalar(data: &mut [f64], detail: &mut [f64], half: usize) {
+    for k in 0..half {
+        let a = data[2 * k];
+        let b = data[2 * k + 1];
+        data[k] = (a + b) * 0.5;
+        detail[k] = (a - b) * 0.5;
+    }
+}
+
+/// Lane-generic SIMD variant of [`forward_level_scalar`]; the tail that
+/// does not fill a register runs the scalar loop.
+#[cfg(feature = "simd")]
+pub fn forward_level_lanes<const L: usize>(data: &mut [f64], detail: &mut [f64], half: usize) {
+    let scale = Simd::<f64, L>::splat(0.5);
+    let mut k = 0;
+    while k + L <= half {
+        // 2·L interleaved inputs -> L averages + L details. Both input
+        // registers are loaded before the (potentially overlapping at
+        // k = 0) average store.
+        let x = Simd::<f64, L>::from_slice(&data[2 * k..2 * k + L]);
+        let y = Simd::<f64, L>::from_slice(&data[2 * k + L..2 * k + 2 * L]);
+        let (a, b) = x.deinterleave(y);
+        ((a + b) * scale).copy_to_slice(&mut data[k..k + L]);
+        ((a - b) * scale).copy_to_slice(&mut detail[k..k + L]);
+        k += L;
+    }
+    for k in k..half {
+        let a = data[2 * k];
+        let b = data[2 * k + 1];
+        data[k] = (a + b) * 0.5;
+        detail[k] = (a - b) * 0.5;
+    }
+}
+
+/// One forward level through the active kernel.
+pub fn forward_level(data: &mut [f64], detail: &mut [f64], half: usize) {
+    #[cfg(feature = "simd")]
+    forward_level_lanes::<LANES>(data, detail, half);
+    #[cfg(not(feature = "simd"))]
+    forward_level_scalar(data, detail, half);
+}
+
+/// One inverse Haar level over a contiguous line: reads averages
+/// `data[k]` and details `data[width + k]` for `k < width`, writes the
+/// reconstructed interleaved pairs into `out[..2 * width]`. `data` and
+/// `out` must not alias (the cascade hands in its scratch buffer).
+pub fn inverse_level_scalar(data: &[f64], out: &mut [f64], width: usize) {
+    for k in 0..width {
+        let u = data[k];
+        let w = data[width + k];
+        out[2 * k] = u + w;
+        out[2 * k + 1] = u - w;
+    }
+}
+
+/// Lane-generic SIMD variant of [`inverse_level_scalar`].
+#[cfg(feature = "simd")]
+pub fn inverse_level_lanes<const L: usize>(data: &[f64], out: &mut [f64], width: usize) {
+    let mut k = 0;
+    while k + L <= width {
+        let u = Simd::<f64, L>::from_slice(&data[k..k + L]);
+        let w = Simd::<f64, L>::from_slice(&data[width + k..width + k + L]);
+        let (lo, hi) = (u + w).interleave(u - w);
+        lo.copy_to_slice(&mut out[2 * k..2 * k + L]);
+        hi.copy_to_slice(&mut out[2 * k + L..2 * k + 2 * L]);
+        k += L;
+    }
+    for k in k..width {
+        let u = data[k];
+        let w = data[width + k];
+        out[2 * k] = u + w;
+        out[2 * k + 1] = u - w;
+    }
+}
+
+/// One inverse level through the active kernel.
+pub fn inverse_level(data: &[f64], out: &mut [f64], width: usize) {
+    #[cfg(feature = "simd")]
+    inverse_level_lanes::<LANES>(data, out, width);
+    #[cfg(not(feature = "simd"))]
+    inverse_level_scalar(data, out, width);
+}
+
+// ---------------------------------------------------------------------
+// Panel (strided-axis) butterfly levels — the multidimensional passes.
+// ---------------------------------------------------------------------
+
+/// Panel forward step: `data[dst + j] = (data[a0 + j] + data[b0 + j]) / 2`
+/// and `diff[j] = (data[a0 + j] - data[b0 + j]) / 2` for `j < len`.
+///
+/// Offsets address one backing slice because the destination row *may*
+/// alias the `a0` source row (the cascade writes average row `k` over
+/// source row `2k` when `k == 0`); every element is loaded before its
+/// store, so the aliasing is benign in both builds.
+pub fn avg_diff_panel_scalar(
+    data: &mut [f64],
+    a0: usize,
+    b0: usize,
+    dst: usize,
+    diff: &mut [f64],
+    len: usize,
+) {
+    for j in 0..len {
+        let a = data[a0 + j];
+        let b = data[b0 + j];
+        data[dst + j] = (a + b) * 0.5;
+        diff[j] = (a - b) * 0.5;
+    }
+}
+
+/// Lane-generic SIMD variant of [`avg_diff_panel_scalar`].
+#[cfg(feature = "simd")]
+pub fn avg_diff_panel_lanes<const L: usize>(
+    data: &mut [f64],
+    a0: usize,
+    b0: usize,
+    dst: usize,
+    diff: &mut [f64],
+    len: usize,
+) {
+    let scale = Simd::<f64, L>::splat(0.5);
+    let mut j = 0;
+    while j + L <= len {
+        let a = Simd::<f64, L>::from_slice(&data[a0 + j..a0 + j + L]);
+        let b = Simd::<f64, L>::from_slice(&data[b0 + j..b0 + j + L]);
+        ((a + b) * scale).copy_to_slice(&mut data[dst + j..dst + j + L]);
+        ((a - b) * scale).copy_to_slice(&mut diff[j..j + L]);
+        j += L;
+    }
+    for j in j..len {
+        let a = data[a0 + j];
+        let b = data[b0 + j];
+        data[dst + j] = (a + b) * 0.5;
+        diff[j] = (a - b) * 0.5;
+    }
+}
+
+/// Panel forward step through the active kernel.
+pub fn avg_diff_panel(
+    data: &mut [f64],
+    a0: usize,
+    b0: usize,
+    dst: usize,
+    diff: &mut [f64],
+    len: usize,
+) {
+    #[cfg(feature = "simd")]
+    avg_diff_panel_lanes::<LANES>(data, a0, b0, dst, diff, len);
+    #[cfg(not(feature = "simd"))]
+    avg_diff_panel_scalar(data, a0, b0, dst, diff, len);
+}
+
+/// Panel inverse step: `sum[j] = u[j] + w[j]`, `diff[j] = u[j] - w[j]`.
+/// All four slices are disjoint (the cascade writes into scratch rows).
+pub fn add_sub_rows_scalar(u: &[f64], w: &[f64], sum: &mut [f64], diff: &mut [f64]) {
+    for j in 0..u.len() {
+        sum[j] = u[j] + w[j];
+        diff[j] = u[j] - w[j];
+    }
+}
+
+/// Lane-generic SIMD variant of [`add_sub_rows_scalar`].
+#[cfg(feature = "simd")]
+pub fn add_sub_rows_lanes<const L: usize>(u: &[f64], w: &[f64], sum: &mut [f64], diff: &mut [f64]) {
+    let len = u.len();
+    let mut j = 0;
+    while j + L <= len {
+        let a = Simd::<f64, L>::from_slice(&u[j..j + L]);
+        let b = Simd::<f64, L>::from_slice(&w[j..j + L]);
+        (a + b).copy_to_slice(&mut sum[j..j + L]);
+        (a - b).copy_to_slice(&mut diff[j..j + L]);
+        j += L;
+    }
+    for j in j..len {
+        sum[j] = u[j] + w[j];
+        diff[j] = u[j] - w[j];
+    }
+}
+
+/// Panel inverse step through the active kernel.
+pub fn add_sub_rows(u: &[f64], w: &[f64], sum: &mut [f64], diff: &mut [f64]) {
+    #[cfg(feature = "simd")]
+    add_sub_rows_lanes::<LANES>(u, w, sum, diff);
+    #[cfg(not(feature = "simd"))]
+    add_sub_rows_scalar(u, w, sum, diff);
+}
+
+// ---------------------------------------------------------------------
+// Dense delta application — the maintenance flush inner loop.
+// ---------------------------------------------------------------------
+
+/// Adds a dense per-slot delta vector into a block, touching **only**
+/// slots whose delta is non-zero: `blk[j] += delta[j]` where
+/// `delta[j] != 0.0`.
+///
+/// The skip is semantic, not an optimisation: an unconditional
+/// `blk[j] += 0.0` would rewrite a stored `-0.0` coefficient to `+0.0`,
+/// breaking the bit-identity contract of the exact flush path
+/// (docs/ERROR_MODEL.md). The SIMD build keeps the contract with a
+/// lane mask instead of a branch.
+pub fn masked_add_scalar(blk: &mut [f64], delta: &[f64]) {
+    for (b, &d) in blk.iter_mut().zip(delta) {
+        if d != 0.0 {
+            *b += d;
+        }
+    }
+}
+
+/// Lane-generic SIMD variant of [`masked_add_scalar`].
+#[cfg(feature = "simd")]
+pub fn masked_add_lanes<const L: usize>(blk: &mut [f64], delta: &[f64]) {
+    let zero = Simd::<f64, L>::splat(0.0);
+    let len = blk.len().min(delta.len());
+    let mut j = 0;
+    while j + L <= len {
+        let d = Simd::<f64, L>::from_slice(&delta[j..j + L]);
+        let b = Simd::<f64, L>::from_slice(&blk[j..j + L]);
+        let touched = d.simd_ne(zero);
+        touched.select(b + d, b).copy_to_slice(&mut blk[j..j + L]);
+        j += L;
+    }
+    for j in j..len {
+        if delta[j] != 0.0 {
+            blk[j] += delta[j];
+        }
+    }
+}
+
+/// Dense delta application through the active kernel.
+pub fn masked_add(blk: &mut [f64], delta: &[f64]) {
+    #[cfg(feature = "simd")]
+    masked_add_lanes::<LANES>(blk, delta);
+    #[cfg(not(feature = "simd"))]
+    masked_add_scalar(blk, delta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) * 17.0 - 8.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_then_inverse_level_roundtrips() {
+        for half in [1usize, 3, 7, 8, 16, 33] {
+            let orig = sample(2 * half, 42 + half as u64);
+            let mut data = orig.clone();
+            let mut detail = vec![0.0; half];
+            forward_level(&mut data, &mut detail, half);
+            data[half..2 * half].copy_from_slice(&detail);
+            let mut out = vec![0.0; 2 * half];
+            inverse_level(&data, &mut out, half);
+            for (a, b) in orig.iter().zip(&out) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_steps_match_contiguous_steps() {
+        let len = 37usize;
+        let a = sample(len, 1);
+        let b = sample(len, 2);
+        // Panel forward vs direct formula.
+        let mut data = [a.clone(), b.clone()].concat();
+        let mut diff = vec![0.0; len];
+        avg_diff_panel(&mut data, 0, len, 0, &mut diff, len);
+        for j in 0..len {
+            assert_eq!(data[j].to_bits(), ((a[j] + b[j]) * 0.5).to_bits());
+            assert_eq!(diff[j].to_bits(), ((a[j] - b[j]) * 0.5).to_bits());
+        }
+        // Panel inverse vs direct formula.
+        let (mut sum, mut d2) = (vec![0.0; len], vec![0.0; len]);
+        add_sub_rows(&a, &b, &mut sum, &mut d2);
+        for j in 0..len {
+            assert_eq!(sum[j].to_bits(), (a[j] + b[j]).to_bits());
+            assert_eq!(d2[j].to_bits(), (a[j] - b[j]).to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_add_skips_zero_deltas_bitwise() {
+        let mut blk = vec![-0.0f64, 1.5, -0.0, 2.5, -3.5, -0.0, 0.0, 4.0, -0.0];
+        let mut delta = vec![0.0f64; blk.len()];
+        delta[1] = 0.5;
+        delta[4] = -1.0;
+        let before = blk.clone();
+        masked_add(&mut blk, &delta);
+        for j in 0..blk.len() {
+            let want = if delta[j] != 0.0 {
+                before[j] + delta[j]
+            } else {
+                before[j] // bitwise: -0.0 stays -0.0
+            };
+            assert_eq!(blk[j].to_bits(), want.to_bits(), "slot {j}");
+        }
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn lane_widths_agree_bitwise() {
+        for half in [5usize, 16, 40, 128] {
+            let orig = sample(2 * half, half as u64);
+            let run = |f: &dyn Fn(&mut [f64], &mut [f64], usize)| {
+                let mut d = orig.clone();
+                let mut det = vec![0.0; half];
+                f(&mut d, &mut det, half);
+                (d, det)
+            };
+            let want = run(&forward_level_scalar);
+            for (d, det) in [
+                run(&forward_level_lanes::<2>),
+                run(&forward_level_lanes::<4>),
+                run(&forward_level_lanes::<8>),
+            ] {
+                assert_eq!(
+                    d.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    det.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

@@ -154,24 +154,43 @@ pub fn standard_range_transform(
     let block: Vec<usize> = range.axes.iter().map(|a| a.translation).collect();
     let shape = Shape::new(&range.extents());
     let mut out = NdArray::<f64>::zeros(shape.clone());
+    // Per-axis source lists, hoisted out of the cell loop: detail local
+    // index -> single shifted index; average (local 0) -> block-average
+    // contributions along that axis. Each cell then just cross-multiplies
+    // the d lists its coordinates select.
+    let axis_lists: Vec<Vec<Vec<(usize, f64)>>> = (0..d)
+        .map(|t| {
+            (0..shape.dim(t))
+                .map(|local_t| {
+                    if local_t == 0 {
+                        block_average_contributions_1d(n[t], m[t], block[t])
+                    } else {
+                        vec![(
+                            crate::shift::shift_index_1d(n[t], m[t], block[t], local_t),
+                            1.0,
+                        )]
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut idx = vec![0usize; d];
     for local in MultiIndexIter::new(shape.dims()) {
-        // Per-axis source lists: detail -> single shifted index; average ->
-        // block-average contributions along that axis.
-        let per_axis: Vec<Vec<(usize, f64)>> = (0..d)
-            .map(|t| {
-                if local[t] == 0 {
-                    block_average_contributions_1d(n[t], m[t], block[t])
-                } else {
-                    vec![(
-                        crate::shift::shift_index_1d(n[t], m[t], block[t], local[t]),
-                        1.0,
-                    )]
-                }
-            })
-            .collect();
+        if local.iter().all(|&i| i != 0) {
+            // All-detail cell: every list is a single weight-1 entry, so
+            // the sum collapses to one coefficient access.
+            for t in 0..d {
+                idx[t] = axis_lists[t][local[t]][0].0;
+            }
+            let mut acc = 0.0;
+            acc += get(&idx);
+            out.set(&local, acc);
+            continue;
+        }
+        let per_axis: Vec<&[(usize, f64)]> =
+            (0..d).map(|t| axis_lists[t][local[t]].as_slice()).collect();
         let mut acc = 0.0;
         let counts: Vec<usize> = per_axis.iter().map(|v| v.len()).collect();
-        let mut idx = vec![0usize; d];
         for choice in MultiIndexIter::new(&counts) {
             let mut w = 1.0;
             for (t, &c) in choice.iter().enumerate() {

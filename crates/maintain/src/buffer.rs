@@ -34,8 +34,54 @@ impl FlushMode {
     }
 }
 
-/// A drained tile and its slot-level delta op list, ready to apply.
-type TileOps = (usize, Vec<(usize, f64)>);
+/// A drained tile's delta payload, ready to apply.
+pub(crate) enum TileApply {
+    /// Arrival-ordered `(slot, delta)` op list — exact replay.
+    Sparse(Vec<(usize, f64)>),
+    /// Dense per-slot accumulator (merged mode), applied in one
+    /// vectorised masked pass; `touched` counts its non-zero slots.
+    Dense { acc: Vec<f64>, touched: u64 },
+}
+
+impl TileApply {
+    /// Coefficient writes this payload performs — the op-list length, or
+    /// the number of touched slots of the dense accumulator.
+    fn ops(&self) -> u64 {
+        match self {
+            TileApply::Sparse(ops) => ops.len() as u64,
+            TileApply::Dense { touched, .. } => *touched,
+        }
+    }
+
+    /// Applies the payload to one tile's block.
+    pub(crate) fn apply(&self, blk: &mut [f64]) {
+        match self {
+            TileApply::Sparse(ops) => {
+                for &(slot, delta) in ops {
+                    blk[slot] += delta;
+                }
+            }
+            TileApply::Dense { acc, .. } => ss_core::kernel::masked_add(blk, acc),
+        }
+    }
+
+    /// Lowers the payload to a slot-ascending sparse op list — the WAL's
+    /// serialisation format.
+    pub(crate) fn into_ops(self) -> Vec<(usize, f64)> {
+        match self {
+            TileApply::Sparse(ops) => ops,
+            TileApply::Dense { acc, .. } => acc
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(slot, &v)| (slot, v))
+                .collect(),
+        }
+    }
+}
+
+/// A drained tile and its delta payload.
+type TileOps = (usize, TileApply);
 
 /// Per-tile buffered state.
 enum TileData {
@@ -191,33 +237,38 @@ impl DeltaBuffer {
         self.tiles.is_empty()
     }
 
-    /// Drains the buffer into sorted `(tile, ops)` pairs, resetting it.
-    /// Merged accumulators are lowered to slot-ascending op lists here so
-    /// both flush paths share the apply code.
+    /// Drains the buffer into sorted `(tile, payload)` pairs, resetting
+    /// it. Merged tiles keep their dense accumulator (applied as one
+    /// vectorised masked pass); merged tiles whose deltas **fully
+    /// cancelled** are dropped here, *before* `tiles_written` is counted,
+    /// so they neither dirty a block nor charge a write — they still
+    /// count in `tile_touches`, which records what a per-operation path
+    /// would have done.
     pub(crate) fn drain_sorted(&mut self) -> (Vec<TileOps>, FlushReport) {
-        let report = FlushReport {
-            boxes: self.box_seq + u64::from(self.implicit_box),
-            deltas: self.deltas,
-            tiles_written: self.tiles.len() as u64,
-            tile_touches: self.tile_touches,
-        };
         let mut entries: Vec<TileOps> = self
             .tiles
             .drain()
-            .map(|(tile, buf)| {
-                let ops = match buf.data {
-                    TileData::Exact(ops) => ops,
-                    TileData::Merged(acc) => acc
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &v)| v != 0.0)
-                        .map(|(slot, &v)| (slot, v))
-                        .collect(),
+            .filter_map(|(tile, buf)| {
+                let payload = match buf.data {
+                    TileData::Exact(ops) => TileApply::Sparse(ops),
+                    TileData::Merged(acc) => {
+                        let touched = acc.iter().filter(|&&v| v != 0.0).count() as u64;
+                        if touched == 0 {
+                            return None;
+                        }
+                        TileApply::Dense { acc, touched }
+                    }
                 };
-                (tile, ops)
+                Some((tile, payload))
             })
             .collect();
         entries.sort_unstable_by_key(|&(tile, _)| tile);
+        let report = FlushReport {
+            boxes: self.box_seq + u64::from(self.implicit_box),
+            deltas: self.deltas,
+            tiles_written: entries.len() as u64,
+            tile_touches: self.tile_touches,
+        };
         self.box_seq = 0;
         self.implicit_box = false;
         self.deltas = 0;
@@ -240,14 +291,10 @@ impl DeltaBuffer {
         }
         let stats = cs.stats().clone();
         let deltas_per_tile = ss_obs::global().histogram("maintain.deltas_per_tile");
-        for (tile, ops) in &entries {
-            deltas_per_tile.record(ops.len() as u64);
-            stats.add_coeff_writes(ops.len() as u64);
-            cs.pool().with_block(*tile, true, |blk| {
-                for &(slot, delta) in ops {
-                    blk[slot] += delta;
-                }
-            });
+        for (tile, payload) in &entries {
+            deltas_per_tile.record(payload.ops());
+            stats.add_coeff_writes(payload.ops());
+            cs.pool().with_block(*tile, true, |blk| payload.apply(blk));
         }
         cs.flush();
         record_flush_metrics(&report, sw.lap_ns());
@@ -271,8 +318,8 @@ impl DeltaBuffer {
             return report;
         }
         let deltas_per_tile = ss_obs::global().histogram("maintain.deltas_per_tile");
-        for (_, ops) in &entries {
-            deltas_per_tile.record(ops.len() as u64);
+        for (_, payload) in &entries {
+            deltas_per_tile.record(payload.ops());
         }
         let total = entries.len();
         std::thread::scope(|scope| {
@@ -284,8 +331,16 @@ impl DeltaBuffer {
                 }
                 let range = &entries[lo..hi];
                 scope.spawn(move || {
-                    for (tile, ops) in range {
-                        cs.apply_tile(*tile, ops);
+                    for (tile, payload) in range {
+                        // Coefficient-write accounting lives inside the
+                        // store calls, matching `flush_into`'s per-tile
+                        // `add_coeff_writes` exactly (see the parity test).
+                        match payload {
+                            TileApply::Sparse(ops) => cs.apply_tile(*tile, ops),
+                            TileApply::Dense { acc, touched } => {
+                                cs.apply_tile_dense(*tile, acc, *touched)
+                            }
+                        }
                     }
                 });
             }
@@ -509,6 +564,123 @@ mod tests {
         assert_eq!(report.tile_touches, 2);
         assert_eq!(report.tiles_written, 1);
         assert_eq!(report.coalescing_ratio(), 2.0);
+    }
+
+    #[test]
+    fn merged_tiles_that_fully_cancel_are_not_written() {
+        // Regression: +x and −x boxes landing on the same tile cancel to
+        // an all-zero accumulator; the drain used to count that tile in
+        // `tiles_written` and still issue a dirtying read-modify-write.
+        let m = map();
+        let stats = IoStats::default();
+        let mut cs = mem_store(m.clone(), m.num_tiles(), stats.clone());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Merged);
+        buf.begin_box();
+        buf.add(2, 4, 7.5); // +x box
+        buf.add(2, 5, 1.0);
+        buf.begin_box();
+        buf.add(2, 4, -7.5); // −x box: cancels slot 4 and 5 on tile 2
+        buf.add(2, 5, -1.0);
+        buf.begin_box();
+        buf.add(5, 0, 3.0); // a surviving tile, so the flush is not empty
+        let report = buf.flush_into(&mut cs);
+        assert_eq!(report.tiles_written, 1, "cancelled tile must not count");
+        assert_eq!(report.tile_touches, 3, "touches still reflect arrivals");
+        assert_eq!(stats.snapshot().block_writes, 1, "tile 2 must stay clean");
+        assert_eq!(stats.snapshot().coeff_writes, 1);
+        assert_eq!(cs.read_at(5, 0), 3.0);
+        assert_eq!(cs.read_at(2, 4), 0.0);
+
+        // Same cancellation through the sharded path.
+        let shared_stats = IoStats::default();
+        let shared = mem_shared_store(m.clone(), 8, 4, shared_stats.clone());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Merged);
+        buf.begin_box();
+        buf.add(2, 4, 7.5);
+        buf.begin_box();
+        buf.add(2, 4, -7.5);
+        buf.begin_box();
+        buf.add(5, 0, 3.0);
+        let report = buf.flush_into_shared(&shared, 4);
+        assert_eq!(report.tiles_written, 1);
+        assert_eq!(shared_stats.snapshot().block_writes, 1);
+        assert_eq!(shared_stats.snapshot().coeff_writes, 1);
+    }
+
+    #[test]
+    fn serial_and_sharded_flush_record_identical_coeff_writes() {
+        // Regression: `flush_into` charged `add_coeff_writes` per tile in
+        // the flush loop while `flush_into_shared` relied on the store's
+        // apply hooks — the two paths must account identically, in both
+        // flush modes.
+        for mode in [FlushMode::Exact, FlushMode::Merged] {
+            let m = map();
+            let deltas: Vec<(usize, usize, f64)> = (0..60)
+                .map(|i| ((i * 3) % m.num_tiles(), (i * 7) % 16, 0.25 + i as f64))
+                .collect();
+            let serial_stats = IoStats::default();
+            let mut cs = mem_store(m.clone(), 8, serial_stats.clone());
+            let mut buf = DeltaBuffer::for_map(&m, mode);
+            for chunk in deltas.chunks(6) {
+                buf.begin_box();
+                for &(t, s, v) in chunk {
+                    buf.add(t, s, v);
+                }
+            }
+            let serial_report = buf.flush_into(&mut cs);
+            let shared_stats = IoStats::default();
+            let shared = mem_shared_store(m.clone(), 8, 4, shared_stats.clone());
+            let mut buf = DeltaBuffer::for_map(&m, mode);
+            for chunk in deltas.chunks(6) {
+                buf.begin_box();
+                for &(t, s, v) in chunk {
+                    buf.add(t, s, v);
+                }
+            }
+            let shared_report = buf.flush_into_shared(&shared, 3);
+            assert_eq!(serial_report, shared_report, "mode {mode:?}");
+            assert_eq!(
+                serial_stats.snapshot().coeff_writes,
+                shared_stats.snapshot().coeff_writes,
+                "mode {mode:?}: coeff-write accounting diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_dense_apply_matches_sparse_replay_bitwise() {
+        // The vectorised dense pass must produce the same stored bits as
+        // lowering the accumulator to a sparse op list would have.
+        let m = map();
+        let mut dense_cs = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Merged);
+        buf.begin_box();
+        for i in 0..64usize {
+            buf.add(i % m.num_tiles(), (i * 11) % 16, (i as f64 - 31.5) * 0.125);
+        }
+        buf.flush_into(&mut dense_cs);
+        let mut sparse_cs = mem_store(m.clone(), 8, IoStats::default());
+        let mut buf = DeltaBuffer::for_map(&m, FlushMode::Merged);
+        buf.begin_box();
+        for i in 0..64usize {
+            buf.add(i % m.num_tiles(), (i * 11) % 16, (i as f64 - 31.5) * 0.125);
+        }
+        let (entries, _) = buf.drain_sorted();
+        for (tile, payload) in entries {
+            for (slot, delta) in payload.into_ops() {
+                sparse_cs
+                    .pool()
+                    .with_block(tile, true, |blk| blk[slot] += delta);
+            }
+        }
+        for tile in 0..m.num_tiles() {
+            for slot in 0..16 {
+                assert_eq!(
+                    dense_cs.read_at(tile, slot).to_bits(),
+                    sparse_cs.read_at(tile, slot).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

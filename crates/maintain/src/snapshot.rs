@@ -134,19 +134,17 @@ impl<M: TilingMap, S: BlockStore> SnapshotCoeffStore<M, S> {
         // mutated; everything else is shared by Arc with `prev`.
         let mut overlay = prev.overlay.clone();
         let mut wal_tiles = Vec::with_capacity(entries.len());
-        for (tile, ops) in entries {
+        for (tile, payload) in entries {
             let mut data = match overlay.get(&tile) {
                 Some(shared) => shared.as_ref().clone(),
                 None => self.base.read_tile(tile),
             };
-            for &(slot, delta) in &ops {
-                data[slot] += delta;
-            }
+            payload.apply(&mut data);
             let image = Arc::new(data);
             overlay.insert(tile, Arc::clone(&image));
             wal_tiles.push(WalTile {
                 tile,
-                ops,
+                ops: payload.into_ops(),
                 image: image.as_ref().clone(),
             });
         }

@@ -37,6 +37,10 @@ pub struct FaultConfig {
     /// coefficient flipped after checksum verification — silent
     /// memory/bus corruption that checksums cannot catch.
     pub bit_flip_rate: f64,
+    /// Probability a sync fails with [`StorageError::Injected`] before
+    /// reaching the inner store — the transient-fsync hiccup the retry
+    /// wrapper must absorb.
+    pub sync_error_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -47,6 +51,7 @@ impl Default for FaultConfig {
             write_error_rate: 0.0,
             torn_write_rate: 0.0,
             bit_flip_rate: 0.0,
+            sync_error_rate: 0.0,
         }
     }
 }
@@ -69,6 +74,7 @@ pub struct FaultInjectingBlockStore<S: BlockStore> {
     state: u64,
     injected_reads: Counter,
     injected_writes: Counter,
+    injected_syncs: Counter,
     torn_writes: Counter,
     bit_flips: Counter,
 }
@@ -83,6 +89,7 @@ impl<S: BlockStore> FaultInjectingBlockStore<S> {
             config,
             injected_reads: registry.counter("storage.faults_injected_read"),
             injected_writes: registry.counter("storage.faults_injected_write"),
+            injected_syncs: registry.counter("storage.faults_injected_sync"),
             torn_writes: registry.counter("storage.faults_torn_writes"),
             bit_flips: registry.counter("storage.faults_bit_flips"),
         }
@@ -176,6 +183,13 @@ impl<S: BlockStore> BlockStore for FaultInjectingBlockStore<S> {
     }
 
     fn try_sync(&mut self) -> Result<(), StorageError> {
+        if self.roll(self.config.sync_error_rate) {
+            self.injected_syncs.inc();
+            return Err(StorageError::Injected {
+                op: "sync",
+                block: 0,
+            });
+        }
         self.inner.try_sync()
     }
 

@@ -106,31 +106,62 @@ impl<S: BlockStore> RetryingBlockStore<S> {
         block: usize,
         mut op: impl FnMut(&mut S) -> Result<(), StorageError>,
     ) -> Result<(), StorageError> {
-        let mut retry = 0u32;
-        loop {
-            match op(&mut self.inner) {
-                Ok(()) => return Ok(()),
-                Err(e) if !e.is_transient() => return Err(e),
-                Err(e) => {
-                    if retry >= self.policy.max_retries {
-                        self.exhausted.inc();
-                        return Err(StorageError::RetriesExhausted {
-                            op: op_name,
-                            block,
-                            attempts: retry + 1,
-                            source: Box::new(e),
-                        });
-                    }
-                    let backoff = self.policy.backoff(retry);
-                    self.backoff_ns.record(backoff.as_nanos() as u64);
-                    self.retries.inc();
-                    ss_obs::trace::event(ss_obs::TraceEventKind::Retry {
-                        block: block as u64,
-                        attempt: (retry + 1) as u64,
+        let RetryingBlockStore {
+            inner,
+            policy,
+            retries,
+            exhausted,
+            backoff_ns,
+        } = self;
+        run_with_retries(
+            policy,
+            retries,
+            exhausted,
+            backoff_ns,
+            op_name,
+            block,
+            || op(inner),
+        )
+    }
+}
+
+/// The one retry/backoff loop both the `&mut self` and `&self` operation
+/// paths share: runs `op` up to `1 + max_retries` times, sleeping a capped
+/// exponential backoff between transient failures, and wraps the final
+/// transient error in [`StorageError::RetriesExhausted`].
+fn run_with_retries(
+    policy: &RetryPolicy,
+    retries: &Counter,
+    exhausted: &Counter,
+    backoff_ns: &Histogram,
+    op_name: &'static str,
+    block: usize,
+    mut op: impl FnMut() -> Result<(), StorageError>,
+) -> Result<(), StorageError> {
+    let mut retry = 0u32;
+    loop {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) if !e.is_transient() => return Err(e),
+            Err(e) => {
+                if retry >= policy.max_retries {
+                    exhausted.inc();
+                    return Err(StorageError::RetriesExhausted {
+                        op: op_name,
+                        block,
+                        attempts: retry + 1,
+                        source: Box::new(e),
                     });
-                    std::thread::sleep(backoff);
-                    retry += 1;
                 }
+                let backoff = policy.backoff(retry);
+                backoff_ns.record(backoff.as_nanos() as u64);
+                retries.inc();
+                ss_obs::trace::event(ss_obs::TraceEventKind::Retry {
+                    block: block as u64,
+                    attempt: (retry + 1) as u64,
+                });
+                std::thread::sleep(backoff);
+                retry += 1;
             }
         }
     }
@@ -154,7 +185,12 @@ impl<S: BlockStore> BlockStore for RetryingBlockStore<S> {
     }
 
     fn try_sync(&mut self) -> Result<(), StorageError> {
-        self.inner.try_sync()
+        // A failed fsync on a transient error (EINTR-style hiccups, an
+        // injected fault) is as retryable as a failed block transfer —
+        // passing it through silently would surface a spurious durability
+        // failure. `block` has no meaning for a whole-store sync; we
+        // report the conventional 0.
+        self.with_retries("sync", 0, |inner| inner.try_sync())
     }
 
     fn grow(&mut self, blocks: usize) {
@@ -166,36 +202,32 @@ impl<S: BlockStore> BlockStore for RetryingBlockStore<S> {
         id: usize,
         buf: &mut [f64],
     ) -> Option<Result<(), StorageError>> {
-        // Same bounded backoff as the exclusive path, but through `&self`
-        // so the sharded pool keeps it under the store *read* lock:
-        // backoff sleeps then stall neither other shards' reads nor any
-        // shard's cached hits.
-        let mut retry = 0u32;
-        loop {
-            match self.inner.try_read_block_shared(id, buf)? {
-                Ok(()) => return Some(Ok(())),
-                Err(e) if !e.is_transient() => return Some(Err(e)),
-                Err(e) => {
-                    if retry >= self.policy.max_retries {
-                        self.exhausted.inc();
-                        return Some(Err(StorageError::RetriesExhausted {
-                            op: "read",
-                            block: id,
-                            attempts: retry + 1,
-                            source: Box::new(e),
-                        }));
-                    }
-                    let backoff = self.policy.backoff(retry);
-                    self.backoff_ns.record(backoff.as_nanos() as u64);
-                    self.retries.inc();
-                    ss_obs::trace::event(ss_obs::TraceEventKind::Retry {
-                        block: id as u64,
-                        attempt: (retry + 1) as u64,
-                    });
-                    std::thread::sleep(backoff);
-                    retry += 1;
+        // Same bounded backoff as the exclusive path (one shared loop, see
+        // `run_with_retries`), but through `&self` so the sharded pool
+        // keeps it under the store *read* lock: backoff sleeps then stall
+        // neither other shards' reads nor any shard's cached hits.
+        let mut supported = true;
+        let result = run_with_retries(
+            &self.policy,
+            &self.retries,
+            &self.exhausted,
+            &self.backoff_ns,
+            "read",
+            id,
+            || match self.inner.try_read_block_shared(id, buf) {
+                Some(r) => r,
+                None => {
+                    // The inner store has no shared-read path; exit the
+                    // loop successfully and report "unsupported" below.
+                    supported = false;
+                    Ok(())
                 }
-            }
+            },
+        );
+        if supported {
+            Some(result)
+        } else {
+            None
         }
     }
 }
@@ -285,6 +317,146 @@ mod tests {
             before,
             "no retry may be spent on a persistent error"
         );
+    }
+
+    #[test]
+    fn transient_sync_faults_are_retried() {
+        // Regression: `try_sync` used to pass straight through with no
+        // retry, so a single transient fsync hiccup surfaced as a
+        // durability failure. 50% injected sync faults with an 8-retry
+        // budget must always converge on this seed.
+        let cfg = FaultConfig {
+            sync_error_rate: 0.5,
+            ..FaultConfig::read_errors(0.0, 4321)
+        };
+        let inner = FaultInjectingBlockStore::new(MemBlockStore::new(4, 8, IoStats::new()), cfg);
+        let mut s = RetryingBlockStore::new(inner, fast_policy(8));
+        for _ in 0..50 {
+            s.try_sync().unwrap();
+        }
+    }
+
+    #[test]
+    fn sync_retry_budget_exhaustion_is_typed() {
+        let cfg = FaultConfig {
+            sync_error_rate: 1.0,
+            ..FaultConfig::read_errors(0.0, 7)
+        };
+        let inner = FaultInjectingBlockStore::new(MemBlockStore::new(4, 8, IoStats::new()), cfg);
+        let mut s = RetryingBlockStore::new(inner, fast_policy(2));
+        match s.try_sync() {
+            Err(StorageError::RetriesExhausted {
+                op: "sync",
+                attempts: 3,
+                source,
+                ..
+            }) => assert!(matches!(*source, StorageError::Injected { op: "sync", .. })),
+            other => panic!("expected sync exhaustion, got {other:?}"),
+        }
+    }
+
+    /// A store whose *shared* reads fail transiently a fixed number of
+    /// times before succeeding (interior-mutable: the fault-injection
+    /// wrapper cannot roll its RNG through `&self`).
+    struct FlakyShared {
+        inner: MemBlockStore,
+        failures_left: std::sync::atomic::AtomicU32,
+    }
+
+    impl BlockStore for FlakyShared {
+        fn block_capacity(&self) -> usize {
+            self.inner.block_capacity()
+        }
+        fn num_blocks(&self) -> usize {
+            self.inner.num_blocks()
+        }
+        fn try_read_block(&mut self, id: usize, buf: &mut [f64]) -> Result<(), StorageError> {
+            self.inner.try_read_block(id, buf)
+        }
+        fn try_write_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError> {
+            self.inner.try_write_block(id, buf)
+        }
+        fn grow(&mut self, blocks: usize) {
+            self.inner.grow(blocks);
+        }
+        fn try_read_block_shared(
+            &self,
+            id: usize,
+            buf: &mut [f64],
+        ) -> Option<Result<(), StorageError>> {
+            use std::sync::atomic::Ordering;
+            let left = self.failures_left.load(Ordering::Relaxed);
+            if left > 0 {
+                self.failures_left.store(left - 1, Ordering::Relaxed);
+                return Some(Err(StorageError::Injected {
+                    op: "read",
+                    block: id,
+                }));
+            }
+            self.inner.try_read_block_shared(id, buf)
+        }
+    }
+
+    fn flaky_shared(failures: u32) -> FlakyShared {
+        let mut inner = MemBlockStore::new(4, 8, IoStats::new());
+        inner.try_write_block(2, &[9.0, 8.0, 7.0, 6.0]).unwrap();
+        FlakyShared {
+            inner,
+            failures_left: std::sync::atomic::AtomicU32::new(failures),
+        }
+    }
+
+    #[test]
+    fn shared_read_retries_through_the_shared_loop() {
+        // The `&self` path retries transient faults exactly like the
+        // exclusive path (both run through `run_with_retries`)…
+        let s = RetryingBlockStore::new(flaky_shared(3), fast_policy(5));
+        let mut buf = [0.0; 4];
+        s.try_read_block_shared(2, &mut buf)
+            .expect("store supports shared reads")
+            .unwrap();
+        assert_eq!(buf, [9.0, 8.0, 7.0, 6.0]);
+        // …and its budget exhaustion carries the same typed error.
+        let s = RetryingBlockStore::new(flaky_shared(u32::MAX), fast_policy(1));
+        match s.try_read_block_shared(2, &mut buf) {
+            Some(Err(StorageError::RetriesExhausted {
+                op: "read",
+                block: 2,
+                attempts: 2,
+                ..
+            })) => {}
+            other => panic!("expected shared-read exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_read_unsupported_store_reports_none() {
+        // A store without a shared-read path must surface `None`, not an
+        // error, so the pool falls back to the exclusive path.
+        struct NoShared(MemBlockStore);
+        impl BlockStore for NoShared {
+            fn block_capacity(&self) -> usize {
+                self.0.block_capacity()
+            }
+            fn num_blocks(&self) -> usize {
+                self.0.num_blocks()
+            }
+            fn try_read_block(&mut self, id: usize, buf: &mut [f64]) -> Result<(), StorageError> {
+                self.0.try_read_block(id, buf)
+            }
+            fn try_write_block(&mut self, id: usize, buf: &[f64]) -> Result<(), StorageError> {
+                self.0.try_write_block(id, buf)
+            }
+            fn grow(&mut self, blocks: usize) {
+                self.0.grow(blocks);
+            }
+        }
+        let s = RetryingBlockStore::new(
+            NoShared(MemBlockStore::new(4, 2, IoStats::new())),
+            fast_policy(3),
+        );
+        let mut buf = [0.0; 4];
+        assert!(s.try_read_block_shared(0, &mut buf).is_none());
     }
 
     #[test]

@@ -498,6 +498,22 @@ impl<M: TilingMap, S: BlockStore> SharedCoeffStore<M, S> {
         });
     }
 
+    /// Adds a dense per-slot delta vector to one tile under a single
+    /// shard lock, skipping zero-delta slots (the [`ss_core::kernel`]
+    /// masked add, vectorised in SIMD builds). `touched` is the caller's
+    /// count of non-zero slots, charged as coefficient writes — the same
+    /// accounting a sparse [`apply_tile`](Self::apply_tile) of those
+    /// slots would record.
+    pub fn apply_tile_dense(&self, tile: usize, deltas: &[f64], touched: u64) {
+        if touched == 0 {
+            return;
+        }
+        self.stats.add_coeff_writes(touched);
+        self.pool.with_block(tile, true, |blk| {
+            ss_core::kernel::masked_add(blk, deltas);
+        });
+    }
+
     /// Applies a `(tile, slot, delta)` batch: sorted by tile so each
     /// affected tile is locked (and, on a miss, loaded) at most once per
     /// batch — the per-chunk access discipline of the serial drivers,

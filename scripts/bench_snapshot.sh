@@ -10,7 +10,9 @@
 # (the exp_trace off/ring/export overhead sweep, same row format) and
 # BENCH_sparse.json for the sparse v3 storage layout (the exp_sparse
 # retention-policy sweep: bytes on disk and query behaviour versus
-# reconstruction error, same row format).
+# reconstruction error, same row format) and BENCH_simd.json for the
+# hot-kernel layer (the exp_simd kernel-vs-naive sweep run under both
+# the scalar and, when a nightly toolchain is present, SIMD builds).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
@@ -79,3 +81,20 @@ SS_EXP_JSON="$sparse_out.tmp" cargo run --release -q -p ss-bench --bin exp_spars
 ./scripts/check_metrics_schema rows "$sparse_out.tmp"
 mv "$sparse_out.tmp" "$sparse_out"
 echo "wrote $sparse_out"
+
+# BENCH_simd.json needs both kernel builds appended to one file: the
+# scalar rows from the stable toolchain, the vector rows from nightly
+# (portable_simd). If no nightly toolchain is installed, the scalar rows
+# alone are still a valid (if boring) dataset — warn and keep them.
+simd_out="${7:-BENCH_simd.json}"
+rm -f "$simd_out.tmp"
+SS_EXP_JSON="$simd_out.tmp" cargo run --release -q -p ss-bench --bin exp_simd
+if cargo +nightly --version >/dev/null 2>&1; then
+    SS_EXP_JSON="$simd_out.tmp" cargo +nightly run --release -q -p ss-bench \
+        --bin exp_simd --features simd
+else
+    echo "warning: no nightly toolchain; $simd_out has scalar rows only" >&2
+fi
+./scripts/check_metrics_schema rows "$simd_out.tmp"
+mv "$simd_out.tmp" "$simd_out"
+echo "wrote $simd_out"

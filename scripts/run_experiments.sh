@@ -10,6 +10,9 @@ EXPERIMENTS=(exp_table1 exp_table2 exp_fig11 exp_fig12 exp_fig13 exp_fig14 exp_r
 # parallel-driver, durability, query-serving, coalesced-maintenance,
 # live read/write-serving and sparse-storage sweeps.
 EXPERIMENTS+=(exp_par exp_fault exp_serve exp_update exp_rw exp_sparse)
+# Kernel-layer sweep (DESIGN.md §15): scalar build here; run again with
+# `cargo +nightly ... --features simd` for the vector rows.
+EXPERIMENTS+=(exp_simd)
 
 cargo build --release -p ss-bench --bins
 
