@@ -83,6 +83,10 @@ impl TileApply {
 /// A drained tile and its delta payload.
 type TileOps = (usize, TileApply);
 
+/// A drained tile and its arrival-ordered `(slot, delta)` op list, as
+/// produced by [`DeltaBuffer::drain_ops`].
+pub type DrainedTileOps = (usize, Vec<(usize, f64)>);
+
 /// Per-tile buffered state.
 enum TileData {
     /// Arrival-ordered `(slot, delta)` op list.
@@ -274,6 +278,24 @@ impl DeltaBuffer {
         self.deltas = 0;
         self.tile_touches = 0;
         (entries, report)
+    }
+
+    /// Drains the buffer into tile-ascending `(tile, ops)` lists — each
+    /// op a `(slot, delta)` pair in arrival order — resetting the
+    /// buffer. This is the scatter form a shard router consumes: tiles
+    /// group naturally by owning shard range, and replaying each tile's
+    /// op list in order at its owner is bit-identical to flushing the
+    /// whole buffer into one store (merged-mode dense accumulators lower
+    /// to slot-ascending sparse lists, exactly as the WAL records them).
+    pub fn drain_ops(&mut self) -> (Vec<DrainedTileOps>, FlushReport) {
+        let (entries, report) = self.drain_sorted();
+        (
+            entries
+                .into_iter()
+                .map(|(tile, payload)| (tile, payload.into_ops()))
+                .collect(),
+            report,
+        )
     }
 
     /// Group-commit flush: one read-modify-write per dirty tile, in

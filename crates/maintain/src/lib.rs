@@ -93,7 +93,7 @@ pub mod engine;
 pub mod snapshot;
 pub mod wal;
 
-pub use buffer::{DeltaBuffer, FlushMode, FlushReport};
+pub use buffer::{DeltaBuffer, DrainedTileOps, FlushMode, FlushReport};
 pub use engine::{
     transform_standard_coalesced, update_boxes_nonstandard, update_boxes_nonstandard_parallel,
     update_boxes_standard, update_boxes_standard_parallel, BatchReport, IngestReport,

@@ -38,6 +38,18 @@ pub fn batch_range_sums<C: CoeffRead>(
     execute_plans(cs, &plans)
 }
 
+/// One plan's answer plus its per-tile partial sums, in ascending tile
+/// order — the decomposition a scatter-gather router merges exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanTiles {
+    /// The plan's answer: the fold of `tiles` partials in order,
+    /// starting from `0.0`.
+    pub value: f64,
+    /// `(tile, partial)` pairs for every tile the plan touched,
+    /// ascending by tile ordinal.
+    pub tiles: Vec<(usize, f64)>,
+}
+
 /// Tile-major evaluation of contribution-list plans: answer `i` is the
 /// weighted sum of plan `i`'s coefficients, with every `(tile, slot)` read
 /// exactly once across the whole batch, in ascending tile order.
@@ -49,6 +61,29 @@ pub fn batch_range_sums<C: CoeffRead>(
 /// the store behind `cs`, so serial and concurrent executions agree bit for
 /// bit.
 pub fn execute_plans<C: CoeffRead>(cs: &mut C, plans: &[Vec<(Vec<usize>, f64)>]) -> Vec<f64> {
+    execute_plans_tiled(cs, plans)
+        .into_iter()
+        .map(|r| r.value)
+        .collect()
+}
+
+/// [`execute_plans`] with each answer's per-tile partial sums exposed.
+///
+/// The canonical accumulation order is **per-tile decomposed**: within a
+/// tile, contributions fold left in ascending `(tile, slot)` key order
+/// (and, per key, in plan insertion order); the answer is then the fold
+/// of the per-tile partials in ascending tile order, starting from
+/// `0.0`. Because f64 addition is not associative, this grouping is what
+/// makes horizontal sharding *exact*: any partition of the tile space
+/// into whole-tile ranges computes the same per-tile partials locally,
+/// and a router that re-folds the partials in ascending tile order
+/// replays the identical addition sequence — the merged answer equals
+/// the single-store answer bit for bit (see `ss-serve`'s router and
+/// DESIGN.md §16).
+pub fn execute_plans_tiled<C: CoeffRead>(
+    cs: &mut C,
+    plans: &[Vec<(Vec<usize>, f64)>],
+) -> Vec<PlanTiles> {
     // Inert unless the calling thread is inside a traced request; the
     // batch's tile-fetch events then nest under this span.
     let _trace_span = ss_obs::trace::scoped("query.execute");
@@ -66,27 +101,45 @@ pub fn execute_plans<C: CoeffRead>(cs: &mut C, plans: &[Vec<(Vec<usize>, f64)>])
     }
     let mut keys: Vec<(usize, usize)> = wanted.keys().copied().collect();
     keys.sort_unstable();
-    let distinct_tiles = {
-        let mut n = 0u64;
-        let mut last = usize::MAX;
-        for &(tile, _) in &keys {
-            if tile != last {
-                n += 1;
-                last = tile;
+    let mut distinct_tiles = 0u64;
+    let mut results: Vec<PlanTiles> = plans
+        .iter()
+        .map(|_| PlanTiles {
+            value: 0.0,
+            tiles: Vec::new(),
+        })
+        .collect();
+    // Keys are sorted, so each tile is one contiguous run.
+    let mut i = 0;
+    let mut acc: HashMap<usize, f64> = HashMap::new();
+    let mut touched: Vec<usize> = Vec::new();
+    while i < keys.len() {
+        let tile = keys[i].0;
+        distinct_tiles += 1;
+        acc.clear();
+        touched.clear();
+        while i < keys.len() && keys[i].0 == tile {
+            let v = cs.read_at(tile, keys[i].1);
+            for &(q, w) in &wanted[&keys[i]] {
+                match acc.entry(q) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += w * v,
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(w * v);
+                        touched.push(q);
+                    }
+                }
             }
+            i += 1;
         }
-        n
-    };
+        for &q in &touched {
+            let partial = acc[&q];
+            results[q].tiles.push((tile, partial));
+            results[q].value += partial;
+        }
+    }
     ss_obs::global()
         .counter("query.batch_distinct_tiles")
         .add(distinct_tiles);
-    let mut results = vec![0.0f64; plans.len()];
-    for key in keys {
-        let v = cs.read_at(key.0, key.1);
-        for &(q, w) in &wanted[&key] {
-            results[q] += w * v;
-        }
-    }
     results
 }
 
@@ -197,5 +250,78 @@ mod tests {
     fn empty_batch() {
         let (_, mut cs, _) = setup(16, 4);
         assert!(batch_points(&mut cs, &[4, 4], &[]).is_empty());
+    }
+
+    #[test]
+    fn value_is_the_fold_of_tile_partials() {
+        let (_, mut cs, _) = setup(64, 6);
+        let plans = vec![
+            reconstruct::standard_point_contributions(&[6, 6], &[13, 41]),
+            reconstruct::standard_range_sum_contributions(&[6, 6], &[3, 5], &[40, 60]),
+        ];
+        for r in execute_plans_tiled(&mut cs, &plans) {
+            let mut acc = 0.0f64;
+            let mut last = None;
+            for &(tile, partial) in &r.tiles {
+                assert!(last.is_none_or(|t| t < tile), "tiles not ascending");
+                last = Some(tile);
+                acc += partial;
+            }
+            assert_eq!(acc.to_bits(), r.value.to_bits());
+        }
+    }
+
+    /// The router invariant, stated without a router: splitting every
+    /// plan's terms by a contiguous tile-range partition, executing each
+    /// part independently, and re-folding the per-tile partials in
+    /// ascending tile order reproduces the unsplit answer bit for bit.
+    #[test]
+    fn tiled_partials_merge_exactly_under_contiguous_splits() {
+        let (_, mut cs, _) = setup(64, 6);
+        let mut plans = Vec::new();
+        for i in 0..12usize {
+            plans.push(reconstruct::standard_point_contributions(
+                &[6, 6],
+                &[(i * 17) % 64, (i * 23) % 64],
+            ));
+            let lo = vec![(i * 5) % 30, (i * 7) % 30];
+            plans.push(reconstruct::standard_range_sum_contributions(
+                &[6, 6],
+                &lo,
+                &[lo[0] + 20, lo[1] + 33],
+            ));
+        }
+        let whole = execute_plans_tiled(&mut cs, &plans);
+        let num_tiles = cs.map().num_tiles();
+        for shards in [1usize, 2, 4, 8] {
+            let sm = ss_storage::ShardMap::even(num_tiles, shards, 1).unwrap();
+            // Split each plan's terms by owning shard, preserving order.
+            type SubPlan = Vec<(Vec<usize>, f64)>;
+            let mut parts: Vec<Vec<SubPlan>> = vec![vec![Vec::new(); plans.len()]; shards];
+            for (q, plan) in plans.iter().enumerate() {
+                for (idx, w) in plan {
+                    let tile = cs.map().locate(idx).tile;
+                    parts[sm.owner(tile)][q].push((idx.clone(), *w));
+                }
+            }
+            // Execute each shard's sub-plans independently, then merge:
+            // per-shard tile lists concatenate in shard order, which is
+            // ascending tile order because ranges are contiguous.
+            let mut merged = vec![0.0f64; plans.len()];
+            for shard_plans in &parts {
+                for (q, r) in execute_plans_tiled(&mut cs, shard_plans).iter().enumerate() {
+                    for &(_, partial) in &r.tiles {
+                        merged[q] += partial;
+                    }
+                }
+            }
+            for (q, (m, w)) in merged.iter().zip(&whole).enumerate() {
+                assert_eq!(
+                    m.to_bits(),
+                    w.value.to_bits(),
+                    "plan {q} diverges at {shards} shards"
+                );
+            }
+        }
     }
 }

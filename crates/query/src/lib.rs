@@ -33,7 +33,7 @@ pub mod recon;
 pub mod scalings;
 
 pub use approximate::{progressive_range_sum, StoredSynopsis};
-pub use batch::{batch_points, batch_range_sums, execute_plans};
+pub use batch::{batch_points, batch_range_sums, execute_plans, execute_plans_tiled, PlanTiles};
 pub use point::{point_nonstandard, point_nonstandard_fast, point_standard, point_standard_fast};
 pub use range::{range_sum_nonstandard, range_sum_standard, range_sum_standard_fast};
 pub use recon::{

@@ -5,7 +5,7 @@
 //! requests by id (the server batches across connections, so responses may
 //! return out of order).
 
-use crate::proto::{self, Mutation, Op, Query};
+use crate::proto::{self, Mutation, Op, Query, Response};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -105,6 +105,13 @@ impl Client {
         self.one_op(Op::Mutation(Mutation::Commit))
     }
 
+    /// Buffers raw `(tile, slot, delta)` coefficient ops on a writable
+    /// server (the router's scatter form — see the `apply` op in
+    /// [`crate::proto`]). Returns the number of ops buffered.
+    pub fn apply(&mut self, ops: &[(usize, usize, f64)]) -> Result<f64, ClientError> {
+        self.one_op(Op::Mutation(Mutation::Apply { ops: ops.to_vec() }))
+    }
+
     fn one(&mut self, q: Query) -> Result<f64, ClientError> {
         self.one_op(Op::Query(q))
     }
@@ -138,46 +145,84 @@ impl Client {
         &mut self,
         queries: &[Op],
     ) -> Result<Vec<Result<f64, (String, String)>>, ClientError> {
-        if queries.is_empty() {
+        let trace = self.trace;
+        let items: Vec<(Op, Option<u64>)> = queries.iter().map(|q| (q.clone(), trace)).collect();
+        Ok(self
+            .run_ops_detailed(&items)?
+            .into_iter()
+            .map(|r| r.result)
+            .collect())
+    }
+
+    /// Pipelines operations carrying **per-operation** trace ids and
+    /// returns the full parsed responses (including the per-tile partial
+    /// decomposition of `partial` sub-plans), in request order. This is
+    /// the fan-out primitive the scatter-gather router drives: one
+    /// routed batch mixes requests from different traced clients, so
+    /// each forwarded sub-request keeps its own trace id.
+    pub fn run_ops_detailed(
+        &mut self,
+        items: &[(Op, Option<u64>)],
+    ) -> Result<Vec<Response>, ClientError> {
+        if items.is_empty() {
             return Ok(Vec::new());
         }
+        let first_id = self.send_ops(items)?;
+        self.recv_responses(first_id, items.len())
+    }
+
+    /// Writes and flushes one pipelined request per item without waiting
+    /// for answers; returns the id of the first request. The router's
+    /// scatter phase sends to every shard before reading from any, so
+    /// shard round trips overlap instead of adding up.
+    pub fn send_ops(&mut self, items: &[(Op, Option<u64>)]) -> Result<i128, ClientError> {
         let first_id = self.next_id;
         let mut lines = String::new();
-        for (k, q) in queries.iter().enumerate() {
+        for (k, (op, trace)) in items.iter().enumerate() {
             lines.push_str(&proto::op_request_line_traced(
                 first_id + k as i128,
-                q,
-                self.trace,
+                op,
+                *trace,
             ));
             lines.push('\n');
         }
-        self.next_id += queries.len() as i128;
+        self.next_id += items.len() as i128;
         self.writer.write_all(lines.as_bytes())?;
         self.writer.flush()?;
-        let mut by_id: HashMap<i128, Result<f64, (String, String)>> =
-            HashMap::with_capacity(queries.len());
+        Ok(first_id)
+    }
+
+    /// Reads the `count` responses to a [`send_ops`](Client::send_ops)
+    /// exchange that started at `first_id`, re-ordered into request
+    /// order.
+    pub fn recv_responses(
+        &mut self,
+        first_id: i128,
+        count: usize,
+    ) -> Result<Vec<Response>, ClientError> {
+        let mut by_id: HashMap<i128, Response> = HashMap::with_capacity(count);
         let mut line = String::new();
-        while by_id.len() < queries.len() {
+        while by_id.len() < count {
             line.clear();
             if self.reader.read_line(&mut line)? == 0 {
                 return Err(ClientError::Protocol(format!(
                     "server closed after {} of {} answers",
                     by_id.len(),
-                    queries.len()
+                    count
                 )));
             }
             let resp = proto::parse_response(line.trim_end()).map_err(ClientError::Protocol)?;
             let id = resp
                 .id
                 .ok_or_else(|| ClientError::Protocol("response without id".into()))?;
-            if id < first_id || id >= first_id + queries.len() as i128 {
+            if id < first_id || id >= first_id + count as i128 {
                 return Err(ClientError::Protocol(format!(
                     "unexpected response id {id}"
                 )));
             }
-            by_id.insert(id, resp.result);
+            by_id.insert(id, resp);
         }
-        Ok((0..queries.len())
+        Ok((0..count)
             .map(|k| by_id.remove(&(first_id + k as i128)).expect("all ids seen"))
             .collect())
     }

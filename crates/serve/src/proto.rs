@@ -37,10 +37,38 @@
 //! updates are invisible to queries; from the commit response onward
 //! every new query sees them (read-your-writes at epoch granularity).
 //!
+//! # Router sub-requests (`partial` / `apply`)
+//!
+//! The scatter-gather router (see [`crate::QueryServer::bind_router`])
+//! speaks two additional operations to its shard servers:
+//!
+//! ```json
+//! {"id": 11, "op": "partial", "terms": [[[3, 9], 0.25], [[0, 1], -0.5]]}
+//! {"id": 12, "op": "apply", "ops": [[7, 3, 0.5], [7, 4, -1.0]]}
+//! ```
+//!
+//! `partial` evaluates a raw contribution list (each term an
+//! `[index, weight]` pair) and answers with the weighted sum **plus** its
+//! per-tile decomposition, so a router can merge partials from disjoint
+//! tile ranges bit-exactly (the canonical accumulation order is per-tile
+//! decomposed — see `ss_query::execute_plans_tiled`):
+//!
+//! ```json
+//! {"id": 11, "ok": true, "value": 3.25, "tiles": [[0, -0.5], [6, 3.75]]}
+//! ```
+//!
+//! `apply` buffers raw `(tile, slot, delta)` coefficient ops on a
+//! writable shard — the already-SHIFT-SPLIT-decomposed form a router
+//! scatters after splitting one box update by tile ownership; its
+//! `value` answers with the number of ops buffered. Like `update`, the
+//! ops stay invisible until `commit`.
+//!
 //! Error kinds are closed: `parse` (not a JSON object), `unknown_op`
 //! (unrecognised `op`), `bad_request` (wrong arity or out-of-range
 //! coordinates), `read_only` (mutation sent to a read-only server), `io`
-//! (a commit failed to reach the write-ahead log).
+//! (a commit failed to reach the write-ahead log), `shard_unavailable`
+//! (a router could not reach any replica of a shard a request needs — the
+//! answer would otherwise be a silent partial sum, so it is refused).
 //!
 //! # Tracing (`trace` field)
 //!
@@ -62,7 +90,7 @@
 use ss_obs::json::{self, Value};
 
 /// A validated query, ready for planning.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Query {
     /// Point lookup at `pos`.
     Point {
@@ -76,6 +104,14 @@ pub enum Query {
         /// Upper corner, inclusive.
         hi: Vec<usize>,
     },
+    /// A raw contribution list — a router's sub-plan for one shard. The
+    /// success response carries the per-tile partial decomposition (see
+    /// the module docs).
+    Partial {
+        /// `(coefficient index, weight)` terms, evaluated in the
+        /// canonical per-tile-decomposed order.
+        terms: Vec<(Vec<usize>, f64)>,
+    },
 }
 
 impl Query {
@@ -84,6 +120,7 @@ impl Query {
         match self {
             Query::Point { .. } => "point",
             Query::RangeSum { .. } => "range_sum",
+            Query::Partial { .. } => "partial",
         }
     }
 
@@ -116,18 +153,32 @@ impl Query {
                 }
                 Ok(())
             }
+            Query::Partial { terms } => {
+                for (k, (idx, _)) in terms.iter().enumerate() {
+                    check(&format!("terms[{k}]"), idx)?;
+                }
+                Ok(())
+            }
         }
     }
 
     /// The Lemma 1 / Lemma 2 contribution-list plan for a standard-form
-    /// store with per-axis levels `n`.
+    /// store with per-axis levels `n`. A `partial` sub-plan *is* its own
+    /// contribution list.
     pub fn plan(&self, n: &[u32]) -> Vec<(Vec<usize>, f64)> {
         match self {
             Query::Point { pos } => ss_core::reconstruct::standard_point_contributions(n, pos),
             Query::RangeSum { lo, hi } => {
                 ss_core::reconstruct::standard_range_sum_contributions(n, lo, hi)
             }
+            Query::Partial { terms } => terms.clone(),
         }
+    }
+
+    /// Whether the success response must carry the per-tile partial
+    /// decomposition (`partial` sub-plans only).
+    pub fn wants_tiles(&self) -> bool {
+        matches!(self, Query::Partial { .. })
     }
 }
 
@@ -143,15 +194,25 @@ pub enum Mutation {
         /// Row-major box contents (`dims` product values).
         data: Vec<f64>,
     },
+    /// Buffer raw `(tile, slot, delta)` coefficient ops — a router's
+    /// already-decomposed scatter for one shard.
+    Apply {
+        /// The ops, in arrival order (replayed in this order at flush).
+        ops: Vec<(usize, usize, f64)>,
+    },
     /// Group-commit everything buffered so far as the next epoch.
     Commit,
 }
 
 impl Mutation {
     /// Checks arity, bounds and data length against the domain `dims`.
+    /// `apply` ops address `(tile, slot)` locations directly; their
+    /// bounds depend on the tiling map, so the backend checks them when
+    /// buffering.
     pub fn validate(&self, domain: &[usize]) -> Result<(), String> {
         match self {
             Mutation::Commit => Ok(()),
+            Mutation::Apply { .. } => Ok(()),
             Mutation::Update { at, dims, data } => {
                 if at.len() != domain.len() || dims.len() != domain.len() {
                     return Err(format!(
@@ -249,6 +310,44 @@ fn f64_array(v: &Value, name: &str) -> Result<Vec<f64>, String> {
         .map_err(|()| format!("{name} must contain numbers"))
 }
 
+/// `terms`: an array of `[index_array, weight]` pairs.
+fn terms_array(v: &Value) -> Result<Vec<(Vec<usize>, f64)>, String> {
+    let arr = v.as_array().ok_or("terms must be an array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(k, e)| {
+            let pair = e
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("terms[{k}] must be an [index, weight] pair"))?;
+            let idx = usize_array(&pair[0], &format!("terms[{k}] index"))?;
+            let w = pair[1]
+                .as_f64()
+                .ok_or_else(|| format!("terms[{k}] weight must be a number"))?;
+            Ok((idx, w))
+        })
+        .collect()
+}
+
+/// `ops`: an array of `[tile, slot, delta]` triples.
+fn ops_array(v: &Value) -> Result<Vec<(usize, usize, f64)>, String> {
+    let arr = v.as_array().ok_or("ops must be an array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(k, e)| {
+            let triple = e
+                .as_array()
+                .filter(|p| p.len() == 3)
+                .ok_or_else(|| format!("ops[{k}] must be a [tile, slot, delta] triple"))?;
+            let loc = usize_array(&Value::Array(triple[..2].to_vec()), &format!("ops[{k}]"))?;
+            let d = triple[2]
+                .as_f64()
+                .ok_or_else(|| format!("ops[{k}] delta must be a number"))?;
+            Ok((loc[0], loc[1], d))
+        })
+        .collect()
+}
+
 /// Parses one request line. Validation against the domain happens
 /// separately via [`Query::validate`].
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
@@ -304,12 +403,29 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 data,
             })
         }
+        "partial" => {
+            let raw = v
+                .get("terms")
+                .ok_or_else(|| RequestError::new(id, "bad_request", "missing field terms"))?;
+            let terms = terms_array(raw).map_err(|m| RequestError::new(id, "bad_request", m))?;
+            Op::Query(Query::Partial { terms })
+        }
+        "apply" => {
+            let raw = v
+                .get("ops")
+                .ok_or_else(|| RequestError::new(id, "bad_request", "missing field ops"))?;
+            let ops = ops_array(raw).map_err(|m| RequestError::new(id, "bad_request", m))?;
+            Op::Mutation(Mutation::Apply { ops })
+        }
         "commit" => Op::Mutation(Mutation::Commit),
         other => {
             return Err(RequestError::new(
                 id,
                 "unknown_op",
-                format!("unknown op {other:?} (expected point, range_sum, update, or commit)"),
+                format!(
+                    "unknown op {other:?} (expected point, range_sum, partial, \
+                     update, apply, or commit)"
+                ),
             ));
         }
     };
@@ -339,6 +455,7 @@ pub fn op_request_line_traced(id: i128, op: &Op, trace: Option<u64>) -> String {
     let name = match op {
         Op::Query(q) => q.op(),
         Op::Mutation(Mutation::Update { .. }) => "update",
+        Op::Mutation(Mutation::Apply { .. }) => "apply",
         Op::Mutation(Mutation::Commit) => "commit",
     };
     let mut pairs = vec![
@@ -351,6 +468,29 @@ pub fn op_request_line_traced(id: i128, op: &Op, trace: Option<u64>) -> String {
         Op::Query(Query::RangeSum { lo, hi }) => {
             pairs.push(("lo".into(), arr(lo)));
             pairs.push(("hi".into(), arr(hi)));
+        }
+        Op::Query(Query::Partial { terms }) => {
+            pairs.push((
+                "terms".into(),
+                Value::Array(
+                    terms
+                        .iter()
+                        .map(|(idx, w)| Value::Array(vec![arr(idx), Value::Float(*w)]))
+                        .collect(),
+                ),
+            ));
+        }
+        Op::Mutation(Mutation::Apply { ops }) => {
+            pairs.push((
+                "ops".into(),
+                Value::Array(
+                    ops.iter()
+                        .map(|&(t, s, d)| {
+                            Value::Array(vec![Value::from(t), Value::from(s), Value::Float(d)])
+                        })
+                        .collect(),
+                ),
+            ));
         }
         Op::Mutation(Mutation::Update { at, dims, data }) => {
             pairs.push(("at".into(), arr(at)));
@@ -375,11 +515,33 @@ pub fn ok_response(id: Option<i128>, value: f64) -> String {
 
 /// Renders a success response line echoing the honoured `trace` id.
 pub fn ok_response_traced(id: Option<i128>, trace: Option<u64>, value: f64) -> String {
+    ok_response_tiled(id, trace, value, None)
+}
+
+/// Renders a success response line, optionally carrying the per-tile
+/// partial decomposition a `partial` sub-plan answers with.
+pub fn ok_response_tiled(
+    id: Option<i128>,
+    trace: Option<u64>,
+    value: f64,
+    tiles: Option<&[(usize, f64)]>,
+) -> String {
     let mut pairs = vec![
         ("id".into(), id_value(id)),
         ("ok".into(), Value::Bool(true)),
         ("value".into(), Value::Float(value)),
     ];
+    if let Some(tiles) = tiles {
+        pairs.push((
+            "tiles".into(),
+            Value::Array(
+                tiles
+                    .iter()
+                    .map(|&(t, p)| Value::Array(vec![Value::from(t), Value::Float(p)]))
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(t) = trace {
         pairs.push(("trace".into(), Value::from(t)));
     }
@@ -404,6 +566,9 @@ pub struct Response {
     pub id: Option<i128>,
     /// The answer, or `(error kind, message)`.
     pub result: Result<f64, (String, String)>,
+    /// Per-tile partial sums, present on `partial` sub-plan answers
+    /// (ascending by tile ordinal).
+    pub tiles: Option<Vec<(usize, f64)>>,
 }
 
 /// Parses one response line (the client side).
@@ -419,9 +584,32 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 .get("value")
                 .and_then(Value::as_f64)
                 .ok_or("ok response missing numeric value")?;
+            let tiles = match v.get("tiles") {
+                None => None,
+                Some(raw) => {
+                    let arr = raw.as_array().ok_or("tiles must be an array")?;
+                    let mut tiles = Vec::with_capacity(arr.len());
+                    for e in arr {
+                        let pair = e
+                            .as_array()
+                            .filter(|p| p.len() == 2)
+                            .ok_or("tiles entries must be [tile, partial] pairs")?;
+                        let tile = match &pair[0] {
+                            Value::Int(i) if *i >= 0 => {
+                                usize::try_from(*i).map_err(|_| "tile out of range")?
+                            }
+                            _ => return Err("tile must be a non-negative integer".into()),
+                        };
+                        let partial = pair[1].as_f64().ok_or("tile partial must be a number")?;
+                        tiles.push((tile, partial));
+                    }
+                    Some(tiles)
+                }
+            };
             Ok(Response {
                 id,
                 result: Ok(value),
+                tiles,
             })
         }
         Some(Value::Bool(false)) => {
@@ -438,6 +626,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             Ok(Response {
                 id,
                 result: Err((kind, message)),
+                tiles: None,
             })
         }
         _ => Err("response missing boolean ok".into()),
@@ -490,6 +679,46 @@ mod tests {
                 data: vec![1.0, 2.5],
             })
         );
+    }
+
+    #[test]
+    fn partial_and_apply_round_trip() {
+        let q = Query::Partial {
+            terms: vec![(vec![3, 9], 0.25), (vec![0, 1], -0.5)],
+        };
+        let line = request_line(11, &q);
+        let back = parse_request(&line).unwrap();
+        assert_eq!(back.op, Op::Query(q.clone()));
+        // A partial sub-plan is its own plan and wants the tile breakdown.
+        assert_eq!(
+            q.plan(&[6, 6]),
+            vec![(vec![3, 9], 0.25), (vec![0, 1], -0.5)]
+        );
+        assert!(q.wants_tiles());
+        assert!(!Query::Point { pos: vec![1, 1] }.wants_tiles());
+        assert!(q.validate(&[16, 16]).is_ok());
+        assert!(q.validate(&[4, 4]).is_err(), "bounds");
+        assert!(q.validate(&[16]).is_err(), "arity");
+
+        let m = Mutation::Apply {
+            ops: vec![(7, 3, 0.5), (7, 4, -1.0)],
+        };
+        let line = op_request_line(12, &Op::Mutation(m.clone()));
+        let back = parse_request(&line).unwrap();
+        assert_eq!(back.op, Op::Mutation(m.clone()));
+        assert!(m.validate(&[16, 16]).is_ok());
+    }
+
+    #[test]
+    fn tiled_response_round_trip() {
+        let tiles = vec![(0usize, -0.5), (6, 3.75)];
+        let line = ok_response_tiled(Some(11), None, 3.25, Some(&tiles));
+        let back = parse_response(&line).unwrap();
+        assert_eq!(back.result, Ok(3.25));
+        assert_eq!(back.tiles, Some(tiles));
+        // Plain responses parse with no tiles.
+        let back = parse_response(&ok_response(Some(1), 2.0)).unwrap();
+        assert_eq!(back.tiles, None);
     }
 
     #[test]

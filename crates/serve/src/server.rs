@@ -43,6 +43,7 @@
 //! (read-your-writes).
 
 use crate::proto::{self, Mutation, Op, Request, RequestError};
+use crate::router::{self, ConnCache, RoutedOutcome, RouterBackend, RouterCore, RouterTopology};
 use ss_core::TilingMap;
 use ss_maintain::{DeltaBuffer, FlushMode, SnapshotCoeffStore};
 use ss_obs::trace::{self, SpanCtx, TraceEventKind};
@@ -111,6 +112,9 @@ struct Job {
     /// The request's root trace span (inert when untraced), opened on
     /// the connection reader and closed after the reply is sent.
     root: SpanCtx,
+    /// Whether the reply must carry the per-tile partial decomposition
+    /// (`partial` sub-plans from an upstream router).
+    wants_tiles: bool,
 }
 
 /// The per-request part of a [`Job`] that survives into the answer path.
@@ -119,18 +123,20 @@ struct Route {
     reply: Arc<ReplyLine>,
     enqueued: Instant,
     root: SpanCtx,
+    wants_tiles: bool,
 }
 
 /// Type-erased mutation sink, so [`State`] stays non-generic. `Ok`
 /// carries the response value (deltas buffered for an update, the
 /// published epoch for a commit); `Err` carries a protocol error kind
 /// plus message.
-trait Mutator: Send + Sync {
+pub(crate) trait Mutator: Send + Sync {
     fn update(&self, at: &[usize], dims: &[usize], data: Vec<f64>) -> Result<f64, MutErr>;
+    fn apply(&self, ops: &[(usize, usize, f64)]) -> Result<f64, MutErr>;
     fn commit(&self) -> Result<f64, MutErr>;
 }
 
-type MutErr = (&'static str, String);
+pub(crate) type MutErr = (&'static str, String);
 
 /// The writable backend: one shared delta buffer feeding a snapshot
 /// store. The buffer mutex also serialises commits relative to updates,
@@ -156,6 +162,28 @@ where
                 buf.add_at(map, idx, d);
             });
         Ok(report.coeffs_touched as f64)
+    }
+
+    fn apply(&self, ops: &[(usize, usize, f64)]) -> Result<f64, MutErr> {
+        let map = self.store.map();
+        let (tiles, capacity) = (map.num_tiles(), map.block_capacity());
+        for &(tile, slot, _) in ops {
+            if tile >= tiles || slot >= capacity {
+                return Err((
+                    "bad_request",
+                    format!(
+                        "op ({tile}, {slot}) outside store geometry \
+                         ({tiles} tiles x {capacity} slots)"
+                    ),
+                ));
+            }
+        }
+        let mut buf = self.buffer.lock().unwrap();
+        buf.begin_box();
+        for &(tile, slot, delta) in ops {
+            buf.add(tile, slot, delta);
+        }
+        Ok(ops.len() as f64)
     }
 
     fn commit(&self) -> Result<f64, MutErr> {
@@ -335,6 +363,66 @@ impl QueryServer {
         QueryServer::finish(listener, state, workers)
     }
 
+    /// Binds `addr` and serves the same protocol as a **scatter-gather
+    /// router** over tile-range shards: the server owns no coefficients
+    /// itself. Query plans are split by the owning shard of each
+    /// contributing tile (per `topology`'s [`ss_storage::ShardMap`]),
+    /// fanned out as `partial` sub-requests to the least-loaded replica
+    /// of each shard, and the per-tile partial sums are merged back in
+    /// ascending tile order — bit-identical to executing the plan
+    /// against one store holding every tile. Mutations are accepted
+    /// too: `update` decomposes boxes once at the router under
+    /// `flush_mode`, and `commit` scatters the dirty-tile op lists to
+    /// the owning shards and fans a commit to every replica (see
+    /// [`crate::router`] for the failure semantics).
+    ///
+    /// `tiling` must describe the same tile space the shards serve;
+    /// the call fails if `topology` partitions a different number of
+    /// tiles.
+    pub fn bind_router<M>(
+        addr: &str,
+        tiling: M,
+        levels: Vec<u32>,
+        topology: RouterTopology,
+        flush_mode: FlushMode,
+        config: ServeConfig,
+    ) -> std::io::Result<QueryServer>
+    where
+        M: TilingMap + Send + Sync + 'static,
+    {
+        if topology.shard_map().num_tiles() != tiling.num_tiles() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "topology partitions {} tiles but the tiling has {}",
+                    topology.shard_map().num_tiles(),
+                    tiling.num_tiles()
+                ),
+            ));
+        }
+        let tiling = Arc::new(tiling);
+        let core = Arc::new(RouterCore::new(topology));
+        let backend = Arc::new(RouterBackend::new(
+            Arc::clone(&core),
+            Arc::clone(&tiling),
+            levels.clone(),
+            flush_mode,
+        ));
+        let (listener, state) = make_state(addr, levels, &config, Some(backend))?;
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let state = Arc::clone(&state);
+            let core = Arc::clone(&core);
+            let tiling = Arc::clone(&tiling);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ss-serve-route-{w}"))
+                    .spawn(move || router_executor_loop(&state, &core, &tiling))?,
+            );
+        }
+        QueryServer::finish(listener, state, workers)
+    }
+
     fn finish(
         listener: TcpListener,
         state: Arc<State>,
@@ -493,6 +581,7 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
                     reply: Arc::clone(&reply),
                     enqueued: Instant::now(),
                     root,
+                    wants_tiles: query.wants_tiles(),
                 };
                 let mut queue = state.queue.lock().unwrap();
                 queue.push_back(job);
@@ -524,6 +613,10 @@ fn connection_loop(stream: TcpStream, state: &Arc<State>) {
                             Mutation::Update { at, dims, data } => {
                                 let _s = trace::scoped("serve.update");
                                 mutator.update(&at, &dims, data)
+                            }
+                            Mutation::Apply { ops } => {
+                                let _s = trace::scoped("serve.apply");
+                                mutator.apply(&ops)
                             }
                             Mutation::Commit => {
                                 let _s = trace::scoped("serve.commit");
@@ -606,7 +699,7 @@ where
         let values = {
             let _in_span = trace::enter(exec);
             let mut handle: &SharedCoeffStore<M, S> = store;
-            ss_query::execute_plans(&mut handle, &plans)
+            ss_query::execute_plans_tiled(&mut handle, &plans)
         };
         trace::end_span(exec);
         answer_batch(state, routes, values);
@@ -642,12 +735,91 @@ where
             let _in_span = trace::enter(exec);
             let pin = store.pin();
             let mut handle = &pin;
-            let values = ss_query::execute_plans(&mut handle, &plans);
+            let values = ss_query::execute_plans_tiled(&mut handle, &plans);
             drop(pin);
             values
         };
         trace::end_span(exec);
         answer_batch(state, routes, values);
+    }
+}
+
+/// Router executor: drain a batch and scatter-gather it across the
+/// shard fleet. Each worker keeps its own connection cache, so
+/// concurrent workers fan out over disjoint sockets (per-replica
+/// in-flight counters in [`RouterCore`] spread them across replicas).
+fn router_executor_loop<M: TilingMap>(state: &Arc<State>, core: &Arc<RouterCore>, tiling: &Arc<M>) {
+    let mut conns = ConnCache::new();
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if state.stopped() {
+                    return;
+                }
+                queue = state.available.wait(queue).unwrap();
+            }
+            let n = state.batch_max.min(queue.len());
+            queue.drain(..n).collect()
+        };
+        let (plans, routes) = split_batch(batch);
+        // Forward each request's own trace id so shard-side spans land
+        // under the originating trace.
+        let jobs: Vec<router::RoutedJob> = plans
+            .into_iter()
+            .zip(routes.iter())
+            .map(|(plan, route)| (plan, route.root.active().then_some(route.root.trace)))
+            .collect();
+        let exec = batch_fanout_span(&routes);
+        let outcomes = {
+            let _in_span = trace::enter(exec);
+            router::execute_routed(core, tiling.as_ref(), &mut conns, &jobs)
+        };
+        trace::end_span(exec);
+        answer_routed(state, routes, outcomes);
+    }
+}
+
+/// The `router.fanout` span covering one scatter-gather sweep, parented
+/// under the batch's first traced request (the same batching
+/// approximation as [`batch_exec_span`]).
+fn batch_fanout_span(routes: &[Route]) -> SpanCtx {
+    routes
+        .iter()
+        .map(|r| r.root)
+        .find(SpanCtx::active)
+        .map(|p| trace::begin_span(p.trace, p.span, "router.fanout"))
+        .unwrap_or_else(SpanCtx::none)
+}
+
+fn answer_routed(state: &State, routes: Vec<Route>, outcomes: Vec<RoutedOutcome>) {
+    state.metrics.batches.inc();
+    state.metrics.batch_size.record(routes.len() as u64);
+    for (route, outcome) in routes.into_iter().zip(outcomes) {
+        let dur_ns = route.enqueued.elapsed().as_nanos() as u64;
+        match outcome {
+            Ok((value, tiles)) => {
+                state.metrics.request_ns.record(dur_ns);
+                state.metrics.requests_ok.inc();
+                let echo = route.root.active().then_some(route.root.trace);
+                let tiles = route.wants_tiles.then_some(tiles.as_slice());
+                route
+                    .reply
+                    .send(&proto::ok_response_tiled(route.id, echo, value, tiles));
+            }
+            Err((kind, message)) => {
+                state.metrics.requests_err.inc();
+                route
+                    .reply
+                    .send(&proto::err_response(route.id, &kind, &message));
+            }
+        }
+        state.observe_slow(route.id, &route.root, dur_ns);
+        trace::end_span(route.root);
+        state.count_reply();
     }
 }
 
@@ -662,6 +834,7 @@ fn split_batch(batch: Vec<Job>) -> (Vec<Vec<(Vec<usize>, f64)>>, Vec<Route>) {
             reply: job.reply,
             enqueued: job.enqueued,
             root: job.root,
+            wants_tiles: job.wants_tiles,
         });
     }
     (plans, routes)
@@ -680,17 +853,21 @@ fn batch_exec_span(routes: &[Route]) -> SpanCtx {
         .unwrap_or_else(SpanCtx::none)
 }
 
-fn answer_batch(state: &State, routes: Vec<Route>, values: Vec<f64>) {
+fn answer_batch(state: &State, routes: Vec<Route>, values: Vec<ss_query::PlanTiles>) {
     state.metrics.batches.inc();
     state.metrics.batch_size.record(routes.len() as u64);
-    for (route, value) in routes.into_iter().zip(values) {
+    for (route, result) in routes.into_iter().zip(values) {
         let dur_ns = route.enqueued.elapsed().as_nanos() as u64;
         state.metrics.request_ns.record(dur_ns);
         state.metrics.requests_ok.inc();
         let echo = route.root.active().then_some(route.root.trace);
-        route
-            .reply
-            .send(&proto::ok_response_traced(route.id, echo, value));
+        let tiles = route.wants_tiles.then_some(result.tiles.as_slice());
+        route.reply.send(&proto::ok_response_tiled(
+            route.id,
+            echo,
+            result.value,
+            tiles,
+        ));
         state.observe_slow(route.id, &route.root, dur_ns);
         trace::end_span(route.root);
         state.count_reply();

@@ -38,6 +38,9 @@ pub enum StorageError {
     },
     /// The `.meta` header failed to parse.
     Meta(String),
+    /// A shard topology is malformed (bad split points, zero replicas,
+    /// more shards than tiles) — see [`ShardMap`](crate::ShardMap).
+    Topology(String),
     /// The `.meta` header declares a format version this build cannot
     /// write (newer than [`FORMAT_VERSION`](crate::wsfile::FORMAT_VERSION)).
     UnsupportedVersion(u32),
@@ -107,6 +110,7 @@ impl fmt::Display for StorageError {
                 write!(f, "store holds {actual} bytes, geometry needs {expected}")
             }
             StorageError::Meta(msg) => write!(f, "bad meta header: {msg}"),
+            StorageError::Topology(msg) => write!(f, "bad shard topology: {msg}"),
             StorageError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             StorageError::ReadOnly => write!(
                 f,

@@ -22,6 +22,9 @@
 //!   counterparts used by the parallel transform drivers: the block-id
 //!   space is sharded over independently locked LRU caches with per-shard
 //!   hit/miss/eviction/write-back counters,
+//! * [`ShardMap`] — a contiguous partition of the tile ordinal space into
+//!   shard ranges with an N-way replica count, the topology object behind
+//!   the scatter-gather query router in `ss-serve`,
 //! * [`CoeffStore`] — wavelet coefficients mapped onto blocks through any
 //!   [`TilingMap`](ss_core::TilingMap) (subtree tiles or the naive row-major
 //!   baseline), the object every out-of-core algorithm in `ss-transform`
@@ -68,6 +71,7 @@ pub mod pool;
 pub mod read;
 pub mod retry;
 pub mod shard;
+pub mod shardmap;
 pub mod sparse;
 pub mod stats;
 pub mod throttle;
@@ -83,6 +87,7 @@ pub use pool::BufferPool;
 pub use read::CoeffRead;
 pub use retry::{RetryPolicy, RetryingBlockStore};
 pub use shard::{mem_shared_store, ShardCounters, ShardedBufferPool, SharedCoeffStore};
+pub use shardmap::ShardMap;
 pub use stats::{IoSnapshot, IoStats};
 pub use throttle::ThrottledBlockStore;
 pub use wsfile::{convert_to_v3, Meta, V3ConvertReport, WsFile, FORMAT_VERSION, V3_FORMAT_VERSION};

@@ -1,0 +1,260 @@
+//! Tile-range sharding: a contiguous partition of the tile ordinal space.
+//!
+//! One process over one `.ws` file is a throughput ceiling — a single
+//! device's read latency gates the whole serving stack. The SHIFT-SPLIT
+//! observation that makes horizontal scale-out *exact* is associativity:
+//! both `range_sum` partial aggregates and SPLIT contributions decompose
+//! over disjoint tile sets, so a query answered by merging per-shard
+//! partial sums is bit-identical to the single-store answer provided the
+//! merge preserves the single-store accumulation order (see
+//! `DESIGN.md` §16 for the argument).
+//!
+//! [`ShardMap`] partitions the tile ordinals `0..num_tiles` (tiles are
+//! already laid out in Morton/z-order by the tiling maps) into
+//! `shards` **contiguous** ranges. Contiguity is load-bearing twice
+//! over:
+//!
+//! * the single-store executor visits `(tile, slot)` keys in ascending
+//!   order, so evaluating each contiguous range locally and adding the
+//!   per-shard partials in ascending range order replays the exact same
+//!   f64 addition sequence — the merge is bit-identical, not just
+//!   mathematically equal;
+//! * z-order locality means a spatial query touches few ranges, keeping
+//!   fan-out narrow.
+//!
+//! Each range is additionally assigned `replicas` interchangeable
+//! backends (N-way replication for hot ranges); replica *selection* is a
+//! router concern — the map only records the count so topology survives
+//! a round-trip through `stats` / the rebalancer.
+
+use crate::error::StorageError;
+
+/// A contiguous partition of the tile ordinal space into shard ranges,
+/// with an N-way replica count per range.
+///
+/// Invariants (enforced by every constructor):
+/// * `bounds[0] == 0`, `bounds[len-1] == num_tiles`, strictly
+///   increasing — every tile has exactly one owner, no empty shard;
+/// * `replicas >= 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `shards + 1` split points over the tile ordinal space.
+    bounds: Vec<usize>,
+    replicas: usize,
+}
+
+impl ShardMap {
+    /// An even partition of `num_tiles` tiles into `shards` contiguous
+    /// ranges (the first `num_tiles % shards` ranges get one extra
+    /// tile), each served by `replicas` backends.
+    pub fn even(num_tiles: usize, shards: usize, replicas: usize) -> Result<Self, StorageError> {
+        if shards == 0 || shards > num_tiles {
+            return Err(StorageError::Topology(format!(
+                "shard count {shards} must be in 1..={num_tiles} (tile count)"
+            )));
+        }
+        let base = num_tiles / shards;
+        let extra = num_tiles % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        let mut at = 0;
+        bounds.push(at);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+        }
+        Self::from_bounds(bounds, replicas)
+    }
+
+    /// A partition from explicit split points: `bounds[s]..bounds[s+1]`
+    /// is shard `s`'s tile range. Validates the invariants listed on
+    /// [`ShardMap`].
+    pub fn from_bounds(bounds: Vec<usize>, replicas: usize) -> Result<Self, StorageError> {
+        if replicas == 0 {
+            return Err(StorageError::Topology(
+                "replica count must be at least 1".into(),
+            ));
+        }
+        if bounds.len() < 2 || bounds[0] != 0 {
+            return Err(StorageError::Topology(format!(
+                "shard bounds must start at 0 and list at least one range, got {bounds:?}"
+            )));
+        }
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StorageError::Topology(format!(
+                "shard bounds must be strictly increasing, got {bounds:?}"
+            )));
+        }
+        Ok(ShardMap { bounds, replicas })
+    }
+
+    /// Number of shard ranges.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Replica count per range.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total number of tiles partitioned (`bounds.last()`).
+    pub fn num_tiles(&self) -> usize {
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// The split points (`shards() + 1` entries, first 0, last
+    /// [`num_tiles`](Self::num_tiles)).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// The shard owning `tile` (binary search over the split points).
+    ///
+    /// # Panics
+    /// If `tile >= num_tiles()` — ownership of a tile outside the
+    /// partitioned space is a logic error upstream.
+    pub fn owner(&self, tile: usize) -> usize {
+        assert!(
+            tile < self.num_tiles(),
+            "tile {tile} outside partitioned space of {} tiles",
+            self.num_tiles()
+        );
+        // partition_point returns the count of bounds <= tile; bounds[0]
+        // is 0 so the count is >= 1 and the owner is that count - 1.
+        self.bounds.partition_point(|&b| b <= tile) - 1
+    }
+
+    /// Shard `s`'s tile range.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Recomputes split points so each of `shards` ranges carries an
+    /// approximately equal share of `weight` (one entry per tile — e.g.
+    /// observed read counts, or non-empty coefficient counts), keeping
+    /// ranges contiguous. Tiles with zero recorded weight still count a
+    /// minimal unit so every shard keeps at least one tile. This is the
+    /// offline `shard-split` rebalancer's core.
+    pub fn rebalanced(&self, weight: &[u64], shards: usize) -> Result<Self, StorageError> {
+        let n = self.num_tiles();
+        if weight.len() != n {
+            return Err(StorageError::Topology(format!(
+                "weight vector has {} entries for {n} tiles",
+                weight.len()
+            )));
+        }
+        if shards == 0 || shards > n {
+            return Err(StorageError::Topology(format!(
+                "shard count {shards} must be in 1..={n} (tile count)"
+            )));
+        }
+        // Every tile weighs at least 1 so empty-looking tails still
+        // split into non-empty ranges.
+        let total: u64 = weight.iter().map(|&w| w.max(1)).sum();
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        let mut acc = 0u64;
+        let mut next_tile = 0usize;
+        for s in 1..shards {
+            let target = total * s as u64 / shards as u64;
+            while acc < target && next_tile < n {
+                acc += weight[next_tile].max(1);
+                next_tile += 1;
+            }
+            // Leave room: each remaining shard still needs >= 1 tile.
+            let cap = n - (shards - s);
+            let floor = bounds[s - 1] + 1;
+            bounds.push(next_tile.clamp(floor, cap));
+            next_tile = bounds[s];
+            acc = weight[..next_tile].iter().map(|&w| w.max(1)).sum();
+        }
+        bounds.push(n);
+        Self::from_bounds(bounds, self.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_covers_every_tile_exactly_once() {
+        for num_tiles in [1usize, 7, 16, 100] {
+            for shards in 1..=num_tiles.min(9) {
+                let m = ShardMap::even(num_tiles, shards, 1).unwrap();
+                assert_eq!(m.shards(), shards);
+                assert_eq!(m.num_tiles(), num_tiles);
+                // Ranges tile the space without gap or overlap.
+                let mut covered = 0;
+                for s in 0..shards {
+                    let r = m.range(s);
+                    assert_eq!(r.start, covered);
+                    assert!(!r.is_empty());
+                    covered = r.end;
+                }
+                assert_eq!(covered, num_tiles);
+                // owner() agrees with a linear scan.
+                for t in 0..num_tiles {
+                    let s = m.owner(t);
+                    assert!(m.range(s).contains(&t), "tile {t} not in its owner range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_split_sizes_differ_by_at_most_one() {
+        let m = ShardMap::even(10, 3, 2).unwrap();
+        let sizes: Vec<usize> = (0..3).map(|s| m.range(s).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(m.replicas(), 2);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(ShardMap::even(4, 0, 1).is_err());
+        assert!(ShardMap::even(4, 5, 1).is_err());
+        assert!(ShardMap::even(4, 2, 0).is_err());
+        assert!(ShardMap::from_bounds(vec![1, 4], 1).is_err());
+        assert!(ShardMap::from_bounds(vec![0, 2, 2, 4], 1).is_err());
+        assert!(ShardMap::from_bounds(vec![0], 1).is_err());
+    }
+
+    #[test]
+    fn rebalanced_equalizes_skewed_weight() {
+        // All the heat on the first quarter of the tile space.
+        let m = ShardMap::even(16, 4, 1).unwrap();
+        let mut w = vec![1u64; 16];
+        for entry in w.iter_mut().take(4) {
+            *entry = 100;
+        }
+        let r = m.rebalanced(&w, 4).unwrap();
+        assert_eq!(r.num_tiles(), 16);
+        assert_eq!(r.shards(), 4);
+        // The hot prefix is spread over multiple shards: the first
+        // shard no longer owns all four hot tiles.
+        assert!(
+            r.range(0).len() < 4,
+            "hot range not split: {:?}",
+            r.bounds()
+        );
+        // Every tile still has exactly one owner.
+        for t in 0..16 {
+            assert!(r.range(r.owner(t)).contains(&t));
+        }
+    }
+
+    #[test]
+    fn rebalanced_keeps_every_shard_nonempty_under_degenerate_weight() {
+        let m = ShardMap::even(8, 2, 3).unwrap();
+        // All weight on tile 0: naive splitting would empty the tail.
+        let mut w = vec![0u64; 8];
+        w[0] = 1_000_000;
+        let r = m.rebalanced(&w, 4).unwrap();
+        assert_eq!(r.shards(), 4);
+        assert_eq!(r.replicas(), 3); // replica count carried over
+        for s in 0..4 {
+            assert!(!r.range(s).is_empty());
+        }
+    }
+}

@@ -10,9 +10,11 @@
 # (the exp_trace off/ring/export overhead sweep, same row format) and
 # BENCH_sparse.json for the sparse v3 storage layout (the exp_sparse
 # retention-policy sweep: bytes on disk and query behaviour versus
-# reconstruction error, same row format) and BENCH_simd.json for the
+# reconstruction error, same row format), BENCH_simd.json for the
 # hot-kernel layer (the exp_simd kernel-vs-naive sweep run under both
-# the scalar and, when a nightly toolchain is present, SIMD builds).
+# the scalar and, when a nightly toolchain is present, SIMD builds) and
+# BENCH_shard.json for the scatter-gather router (the exp_shard shards ×
+# replicas × clients sweep against real shard servers, same row format).
 #
 # The criterion-shim prints one `group/name   <ns> ns/iter` line per
 # benchmark; this script captures those into a small JSON document.
@@ -98,3 +100,10 @@ fi
 ./scripts/check_metrics_schema rows "$simd_out.tmp"
 mv "$simd_out.tmp" "$simd_out"
 echo "wrote $simd_out"
+
+shard_out="${8:-BENCH_shard.json}"
+rm -f "$shard_out.tmp"
+SS_EXP_JSON="$shard_out.tmp" cargo run --release -q -p ss-bench --bin exp_shard
+./scripts/check_metrics_schema rows "$shard_out.tmp"
+mv "$shard_out.tmp" "$shard_out"
+echo "wrote $shard_out"

@@ -13,6 +13,8 @@ EXPERIMENTS+=(exp_par exp_fault exp_serve exp_update exp_rw exp_sparse)
 # Kernel-layer sweep (DESIGN.md §15): scalar build here; run again with
 # `cargo +nightly ... --features simd` for the vector rows.
 EXPERIMENTS+=(exp_simd)
+# Scatter-gather router scale-out sweep (DESIGN.md §16).
+EXPERIMENTS+=(exp_shard)
 
 cargo build --release -p ss-bench --bins
 
